@@ -1,0 +1,47 @@
+"""DRAM-PIM hardware substrate.
+
+This package models the near-bank PIM hardware that the paper evaluates on:
+
+* :mod:`repro.pim.timing` — clock, DRAM and DMA timing constants of the
+  UPMEM platform (including the profiled ``L_D`` and ``L_local`` constants
+  the paper reports in Section VI-I),
+* :mod:`repro.pim.dram` — a per-bank DRAM array model with row-buffer
+  bookkeeping,
+* :mod:`repro.pim.buffer` — the 64 KB SRAM local buffer (WRAM) attached to
+  each processing unit,
+* :mod:`repro.pim.processor` — an in-order DPU instruction-cost model,
+* :mod:`repro.pim.upmem` — the full UPMEM system (ranks, banks, host
+  transfer) that the kernels execute on,
+* :mod:`repro.pim.bank_pim` — the bank-level PIM (HBM-PIM-style) substrate
+  used by Section VI-K, with SIMD MAC units or canonical-LUT units per bank,
+* :mod:`repro.pim.energy` — the per-event energy model used for Fig. 14
+  and Fig. 17(b),
+* :mod:`repro.pim.transfer` — host↔PIM data movement costs.
+"""
+
+from repro.pim.timing import UpmemTimings, DEFAULT_TIMINGS
+from repro.pim.dram import DramBank
+from repro.pim.buffer import LocalBuffer
+from repro.pim.processor import DpuProcessor, InstructionCosts
+from repro.pim.upmem import UpmemSystem, UpmemConfig, ExecutionStats
+from repro.pim.bank_pim import BankLevelPim, BankPimConfig, DramTimings
+from repro.pim.energy import EnergyModel, EnergyBreakdown
+from repro.pim.transfer import TransferModel
+
+__all__ = [
+    "UpmemTimings",
+    "DEFAULT_TIMINGS",
+    "DramBank",
+    "LocalBuffer",
+    "DpuProcessor",
+    "InstructionCosts",
+    "UpmemSystem",
+    "UpmemConfig",
+    "ExecutionStats",
+    "BankLevelPim",
+    "BankPimConfig",
+    "DramTimings",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "TransferModel",
+]

@@ -1,0 +1,133 @@
+"""Timing constants for the UPMEM-style DRAM-PIM platform.
+
+The paper's cost-model validation (Section VI-I) characterises the platform
+with two profiled constants:
+
+* ``L_D = 1.36e-9 s`` — time to move one canonical-LUT entry plus one
+  reordering-LUT entry from the DRAM bank into the local buffer, derived
+  from a 0.5 B/cycle DRAM→WRAM DMA rate at 350 MHz with a three-stage
+  pipelined access, and
+* ``L_local = 3.27e-8 s`` — time for one canonical-LUT lookup, one
+  reordering-LUT lookup and the accumulation of the partial output,
+  corresponding to roughly 12 DPU instructions (the DPU pipeline retires
+  one instruction per ~11 cycle round-trip for a single thread; with
+  enough tasklets the effective throughput is one instruction/cycle, and
+  the constant below reflects the per-tasklet view the paper profiles).
+
+:class:`UpmemTimings` exposes those constants along with the raw platform
+parameters they are derived from, so kernels can either use the profiled
+aggregate values (as the paper's analytical model does) or recompute costs
+from instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["UpmemTimings", "DEFAULT_TIMINGS"]
+
+
+@dataclass(frozen=True)
+class UpmemTimings:
+    """Platform timing parameters for one UPMEM DPU and its bank.
+
+    Attributes
+    ----------
+    clock_hz:
+        DPU clock frequency (350 MHz on the evaluated platform).
+    dram_to_wram_bytes_per_cycle:
+        Sustained DRAM→WRAM DMA bandwidth in bytes per DPU cycle.
+    dma_pipeline_stages:
+        Depth of the DMA pipeline; the paper models a three-stage pipelined
+        access when deriving ``L_D``.
+    dma_setup_cycles:
+        Fixed cost to launch one DMA transfer (row activation plus DMA
+        engine setup), amortised over large transfers.
+    lookup_instructions:
+        DPU instructions needed for one canonical-LUT access, one
+        reordering-LUT access and the accumulate (12 in the paper).
+    mac_instructions_int8:
+        Instructions for one int8 multiply-accumulate on the DPU using the
+        native 8-bit multiplier (used by the Naive PIM baseline).
+    reorder_instructions:
+        Instructions for reordering one packed weight vector in software
+        (unpack, permute, repack) — the overhead that the reordering LUT
+        removes.  Scales linearly with the packing degree; this constant is
+        the per-element cost.
+    host_bandwidth_bytes_per_s:
+        Effective host↔PIM bandwidth per rank for bulk transfers.
+    host_latency_s:
+        Fixed per-transfer latency between the host and a PIM rank.
+    wram_bytes:
+        Local buffer (WRAM) capacity per DPU.
+    mram_bytes:
+        DRAM bank (MRAM) capacity per DPU.
+    """
+
+    clock_hz: float = 350e6
+    dram_to_wram_bytes_per_cycle: float = 0.5
+    dma_pipeline_stages: int = 3
+    dma_setup_cycles: int = 77
+    lookup_instructions: int = 12
+    mac_instructions_int8: int = 9
+    reorder_instructions: int = 7
+    host_bandwidth_bytes_per_s: float = 2.0e9
+    host_latency_s: float = 20e-6
+    wram_bytes: int = 64 * 1024
+    mram_bytes: int = 64 * 1024 * 1024
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one DPU cycle in seconds."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def dram_entry_load_latency_s(self) -> float:
+        """``L_D``: load one canonical + one reordering LUT entry from DRAM.
+
+        The paper profiles this constant directly on the platform
+        (0.5 B/cycle DMA at 350 MHz with a three-stage pipelined access) and
+        reports 1.36e-9 s; we keep the profiled value but scale it with the
+        clock so slower/faster hypothetical platforms remain consistent.
+        """
+        profiled_at_350mhz = 1.36e-9
+        return profiled_at_350mhz * (350e6 / self.clock_hz)
+
+    @property
+    def local_lookup_latency_s(self) -> float:
+        """``L_local``: one reordering lookup + one canonical lookup + accumulate.
+
+        12 instructions at the profiled effective rate gives the paper's
+        3.27e-8 s; scaled with the clock for hypothetical platforms.
+        """
+        profiled_at_350mhz = 3.27e-8
+        return profiled_at_350mhz * (350e6 / self.clock_hz)
+
+    @property
+    def int8_mac_latency_s(self) -> float:
+        """Latency of one int8 MAC on the DPU (Naive PIM baseline)."""
+        return self.mac_instructions_int8 * self.local_lookup_latency_s / self.lookup_instructions
+
+    @property
+    def reorder_latency_s(self) -> float:
+        """Per-element software reordering latency (OP+LC without RC)."""
+        return self.reorder_instructions * self.local_lookup_latency_s / self.lookup_instructions
+
+    def dma_time_s(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` from the DRAM bank to WRAM via DMA."""
+        if num_bytes <= 0:
+            return 0.0
+        cycles = self.dma_setup_cycles + num_bytes / self.dram_to_wram_bytes_per_cycle
+        return cycles * self.cycle_time_s
+
+    def instruction_time_s(self, num_instructions: float) -> float:
+        """Time to retire ``num_instructions`` at the profiled rate.
+
+        The profiled rate is anchored to ``L_local`` (12 instructions), so
+        per-instruction time is ``L_local / 12``.
+        """
+        return num_instructions * (self.local_lookup_latency_s / self.lookup_instructions)
+
+
+#: Default platform timings matching the paper's evaluation setup.
+DEFAULT_TIMINGS = UpmemTimings()

@@ -1,0 +1,45 @@
+"""Quantization substrate for LoCaLUT.
+
+This package implements the low-bit numeric formats the paper evaluates:
+
+* uniform integer quantization (symmetric and asymmetric) for the
+  ``WxAy`` configurations used throughout the evaluation
+  (W1A3, W1A4, W2A2, W4A4, ...),
+* minifloat (FP4 / FP8 / FP16) codecs used by the floating-point
+  extension in Section VI-K,
+* a :class:`~repro.quant.tensor.QuantizedTensor` container that keeps the
+  integer codes together with the scale/zero-point metadata, and
+* the :class:`~repro.quant.schemes.QuantScheme` registry that maps the
+  paper's ``WxAy`` names to concrete codecs.
+"""
+
+from repro.quant.integer import (
+    IntegerCodec,
+    quantize_symmetric,
+    quantize_asymmetric,
+    dequantize,
+)
+from repro.quant.floating import MinifloatCodec, FP4, FP8_E4M3, FP16
+from repro.quant.tensor import QuantizedTensor
+from repro.quant.schemes import (
+    QuantScheme,
+    get_scheme,
+    list_schemes,
+    register_scheme,
+)
+
+__all__ = [
+    "IntegerCodec",
+    "quantize_symmetric",
+    "quantize_asymmetric",
+    "dequantize",
+    "MinifloatCodec",
+    "FP4",
+    "FP8_E4M3",
+    "FP16",
+    "QuantizedTensor",
+    "QuantScheme",
+    "get_scheme",
+    "list_schemes",
+    "register_scheme",
+]
