@@ -1,0 +1,33 @@
+"""LUT-GEMM kernels on the DRAM-PIM substrate.
+
+This package sits between :mod:`repro.quant` (operand codecs) and
+:mod:`repro.pim` (hardware cost model):
+
+* :mod:`repro.kernels.packing` — bit-packing of LUT indices into bytes
+  (the paper's operand packing, OP),
+* :mod:`repro.kernels.lut` — canonical-LUT construction (LC) and
+  reordering-LUT generation (RC),
+* :mod:`repro.kernels.lut_gemm` — the full LoCaLUT GEMM kernel, returning
+  numeric outputs plus an :class:`~repro.pim.upmem.ExecutionStats`,
+* :mod:`repro.kernels.baselines` — Naive-PIM int8-MAC and
+  software-reorder baselines for the OP/LC/RC ablation.
+"""
+
+from repro.kernels.packing import elems_per_byte, pack_codes, unpack_codes
+from repro.kernels.lut import CanonicalLut, ReorderingLut
+from repro.kernels.lut_gemm import GemmResult, lut_gemm, quantize_gemm_operands
+from repro.kernels.baselines import ablation_sweep, naive_pim_gemm, software_reorder_gemm
+
+__all__ = [
+    "elems_per_byte",
+    "pack_codes",
+    "unpack_codes",
+    "CanonicalLut",
+    "ReorderingLut",
+    "GemmResult",
+    "lut_gemm",
+    "quantize_gemm_operands",
+    "naive_pim_gemm",
+    "software_reorder_gemm",
+    "ablation_sweep",
+]

@@ -1,0 +1,115 @@
+"""Per-event energy model (the paper's Fig. 14 and Fig. 17(b)).
+
+Energy is attributed to the same events :class:`~repro.pim.upmem.ExecutionStats`
+counts: DRAM (MRAM) traffic, WRAM traffic, retired DPU instructions and
+host-bus bytes, plus static power integrated over the kernel's latency.
+The per-event constants are modelling parameters in picojoules — they
+default to values representative of a DDR4-class PIM DIMM, and studies
+that sweep them (e.g. a low-power WRAM variant) just construct a new
+:class:`EnergyModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.upmem import ExecutionStats
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per component for one kernel invocation, in picojoules."""
+
+    dram_pj: float = 0.0
+    wram_pj: float = 0.0
+    compute_pj: float = 0.0
+    host_pj: float = 0.0
+    static_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.wram_pj + self.compute_pj + self.host_pj + self.static_pj
+
+    @property
+    def total_j(self) -> float:
+        return self.total_pj * 1e-12
+
+    def as_dict(self) -> dict:
+        return {
+            "dram": self.dram_pj,
+            "wram": self.wram_pj,
+            "compute": self.compute_pj,
+            "host": self.host_pj,
+            "static": self.static_pj,
+        }
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy constants.
+
+    Attributes
+    ----------
+    dram_pj_per_byte:
+        Reading or writing one MRAM byte (row activation amortised in;
+        the explicit activation surcharge below captures locality).
+    dram_pj_per_activation:
+        Surcharge per row activation, so streaming patterns with poor
+        row-buffer locality cost more (tracked via ``dram_activations``).
+    wram_pj_per_byte:
+        SRAM access energy; LUT lookups and operand reads hit WRAM.
+    instruction_pj:
+        Energy per retired DPU instruction.
+    host_pj_per_byte:
+        Moving one byte over the host memory bus.
+    static_w_per_dpu:
+        Static (leakage + clock) power per active DPU, integrated over
+        the kernel's device time.
+    wram_bytes_per_lookup:
+        WRAM bytes touched by one fused lookup: one canonical entry
+        (4 B), one reordering entry (1 B) and an accumulator read +
+        write (4 B each), matching the entry widths in
+        :class:`~repro.pim.timing.UpmemTimings`.
+    """
+
+    dram_pj_per_byte: float = 25.0
+    dram_pj_per_activation: float = 909.0
+    wram_pj_per_byte: float = 1.2
+    instruction_pj: float = 10.0
+    host_pj_per_byte: float = 150.0
+    static_w_per_dpu: float = 0.08
+    wram_bytes_per_lookup: int = 13
+
+    def breakdown(self, stats: ExecutionStats) -> EnergyBreakdown:
+        """Attribute energy to the events recorded in ``stats``.
+
+        Latency-side fields in ``stats`` are critical-path values, while
+        the count fields are per-DPU; the grid is balanced, so totals are
+        scaled by ``n_dpus_used``.
+        """
+        n_dpus = max(stats.n_dpus_used, 1)
+        dram_pj = n_dpus * (
+            stats.dma_bytes * self.dram_pj_per_byte
+            + stats.dram_activations * self.dram_pj_per_activation
+        )
+        # Every DMA'd byte lands in WRAM, and each lookup touches the
+        # canonical entry, the reordering entry and the accumulator there.
+        wram_pj = n_dpus * (
+            (stats.dma_bytes + self.wram_bytes_per_lookup * stats.n_lookups)
+            * self.wram_pj_per_byte
+        )
+        compute_pj = n_dpus * stats.n_instructions * self.instruction_pj
+        host_pj = stats.host_bytes * self.host_pj_per_byte
+        static_pj = n_dpus * self.static_w_per_dpu * stats.device_s * 1e12
+        return EnergyBreakdown(
+            dram_pj=dram_pj,
+            wram_pj=wram_pj,
+            compute_pj=compute_pj,
+            host_pj=host_pj,
+            static_pj=static_pj,
+        )
+
+    def total_j(self, stats: ExecutionStats) -> float:
+        return self.breakdown(stats).total_j

@@ -22,7 +22,7 @@ from instruction counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["UpmemTimings", "DEFAULT_TIMINGS"]
 
@@ -62,6 +62,12 @@ class UpmemTimings:
         Local buffer (WRAM) capacity per DPU.
     mram_bytes:
         DRAM bank (MRAM) capacity per DPU.
+    lut_entry_bytes:
+        Storage per canonical-LUT entry in WRAM (int32 products).
+    reorder_entry_bytes:
+        Storage per reordering-LUT entry (one byte per slot index).
+    accumulator_bytes:
+        Storage per partial-output accumulator (int32).
     """
 
     clock_hz: float = 350e6
@@ -75,6 +81,9 @@ class UpmemTimings:
     host_latency_s: float = 20e-6
     wram_bytes: int = 64 * 1024
     mram_bytes: int = 64 * 1024 * 1024
+    lut_entry_bytes: int = 4
+    reorder_entry_bytes: int = 1
+    accumulator_bytes: int = 4
 
     @property
     def cycle_time_s(self) -> float:
@@ -127,6 +136,17 @@ class UpmemTimings:
         per-instruction time is ``L_local / 12``.
         """
         return num_instructions * (self.local_lookup_latency_s / self.lookup_instructions)
+
+    def with_clock(self, clock_hz: float) -> "UpmemTimings":
+        """A copy of these timings at a different DPU clock.
+
+        The profiled ``L_D``/``L_local`` aggregates scale with the clock
+        automatically (see the latency properties above); host-side
+        parameters are unaffected.
+        """
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+        return replace(self, clock_hz=clock_hz)
 
 
 #: Default platform timings matching the paper's evaluation setup.

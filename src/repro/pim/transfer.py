@@ -1,0 +1,58 @@
+"""Host ↔ PIM data-movement costs.
+
+UPMEM ranks sit on the memory bus, so the host moves data to and from the
+DPUs with explicit copy calls.  Two patterns matter for the paper's
+kernels: *broadcast* (the same activation tile is replicated to every
+rank; the replicas are written rank-parallel so the cost is one copy of
+the payload) and *scatter/gather* (per-DPU private data — packed weights
+in, partial outputs back — whose aggregate volume is spread across ranks
+transferring in parallel).
+"""
+
+from __future__ import annotations
+
+from repro.pim.timing import DEFAULT_TIMINGS, UpmemTimings
+
+__all__ = ["TransferModel"]
+
+
+class TransferModel:
+    """Bulk-transfer latency between the host and PIM ranks."""
+
+    def __init__(self, timings: UpmemTimings = DEFAULT_TIMINGS) -> None:
+        self.timings = timings
+        self.bytes_moved = 0
+
+    def _record(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.bytes_moved += nbytes
+
+    def broadcast_s(self, nbytes: int, num_ranks: int = 1) -> float:
+        """Replicate ``nbytes`` to every rank.
+
+        Rank copies proceed in parallel, so the time is a single payload
+        over the per-rank bandwidth plus the fixed launch latency.
+        """
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self._record(nbytes * num_ranks)
+        if nbytes == 0:
+            return 0.0
+        return self.timings.host_latency_s + nbytes / self.timings.host_bandwidth_bytes_per_s
+
+    def scatter_s(self, total_bytes: int, num_ranks: int = 1) -> float:
+        """Move ``total_bytes`` of per-DPU private data, split across ranks."""
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self._record(total_bytes)
+        if total_bytes == 0:
+            return 0.0
+        bandwidth = self.timings.host_bandwidth_bytes_per_s * num_ranks
+        return self.timings.host_latency_s + total_bytes / bandwidth
+
+    #: Gather shares the scatter cost model (symmetric bus).
+    gather_s = scatter_s
+
+    def reset(self) -> None:
+        self.bytes_moved = 0

@@ -1,0 +1,173 @@
+"""The full UPMEM system the kernels execute on.
+
+A system is ``num_ranks`` ranks of ``dpus_per_rank`` DPUs; every DPU owns
+one DRAM bank (:class:`~repro.pim.dram.DramBank`), one 64 KB WRAM
+(:class:`~repro.pim.buffer.LocalBuffer`) and one in-order core
+(:class:`~repro.pim.processor.DpuProcessor`).  Kernels partition work
+across DPUs, cost the *critical-path* DPU analytically, and report the
+result as an :class:`ExecutionStats` whose four latency terms mirror the
+paper's cost model:
+
+* ``lut_load_s`` — ``L_D`` × LUT entry pairs staged from DRAM to WRAM,
+* ``compute_s`` — ``L_local`` × lookups (or int8-MAC time for baselines),
+* ``reorder_s`` — software weight-reordering overhead (zero when the
+  reordering LUT is used — the paper's RC optimisation),
+* ``dma_s`` — tiled DRAM→WRAM streaming of operands and outputs,
+* ``host_s`` — host↔PIM transfers of activations and results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.pim.buffer import LocalBuffer
+from repro.pim.dram import DramBank
+from repro.pim.processor import DpuProcessor, InstructionCosts
+from repro.pim.timing import DEFAULT_TIMINGS, UpmemTimings
+from repro.pim.transfer import TransferModel
+
+__all__ = ["UpmemSystem", "UpmemConfig", "ExecutionStats"]
+
+
+@dataclass
+class ExecutionStats:
+    """Latency breakdown plus event counts for one kernel invocation.
+
+    Latency fields are seconds on the critical-path DPU; count fields are
+    per-invocation totals on that same DPU unless noted otherwise.
+    """
+
+    kernel: str = ""
+    lut_load_s: float = 0.0
+    compute_s: float = 0.0
+    reorder_s: float = 0.0
+    dma_s: float = 0.0
+    host_s: float = 0.0
+    n_lut_entry_pairs: int = 0
+    n_lookups: int = 0
+    n_macs: int = 0
+    n_reorders: int = 0
+    n_instructions: int = 0
+    dma_bytes: int = 0
+    host_bytes: int = 0
+    dram_activations: int = 0
+    wram_peak_bytes: int = 0
+    n_dpus_used: int = 0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end latency: the four on-DPU terms plus host transfers."""
+        return self.lut_load_s + self.compute_s + self.reorder_s + self.dma_s + self.host_s
+
+    @property
+    def device_s(self) -> float:
+        """On-DPU latency, excluding host transfers."""
+        return self.lut_load_s + self.compute_s + self.reorder_s + self.dma_s
+
+    def breakdown(self) -> dict:
+        """Latency terms by name, for plotting Fig. 13-style stacks."""
+        return {
+            "lut_load": self.lut_load_s,
+            "compute": self.compute_s,
+            "reorder": self.reorder_s,
+            "dma": self.dma_s,
+            "host": self.host_s,
+        }
+
+    def __add__(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Sequential composition (e.g. summing per-layer stats)."""
+        if not isinstance(other, ExecutionStats):
+            return NotImplemented
+        merged = ExecutionStats(kernel=self.kernel or other.kernel)
+        for f in fields(ExecutionStats):
+            if f.name == "kernel":
+                continue
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if f.name in ("wram_peak_bytes", "n_dpus_used"):
+                setattr(merged, f.name, max(a, b))
+            else:
+                setattr(merged, f.name, a + b)
+        return merged
+
+
+@dataclass(frozen=True)
+class UpmemConfig:
+    """Shape and timing of one UPMEM deployment.
+
+    The paper's evaluation platform populates 4 ranks of 64 DPUs each; the
+    default here is a single rank so unit costs stay easy to audit.
+    """
+
+    num_ranks: int = 1
+    dpus_per_rank: int = 64
+    tasklets_per_dpu: int = 16
+    timings: UpmemTimings = field(default_factory=lambda: DEFAULT_TIMINGS)
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1 or self.dpus_per_rank < 1:
+            raise ValueError("num_ranks and dpus_per_rank must be >= 1")
+        if self.tasklets_per_dpu < 1:
+            raise ValueError("tasklets_per_dpu must be >= 1")
+
+    @property
+    def total_dpus(self) -> int:
+        return self.num_ranks * self.dpus_per_rank
+
+
+class UpmemSystem:
+    """Factory and partitioner for a rank × DPU grid.
+
+    Kernels only ever instantiate *one* representative bank / buffer /
+    processor: the grid is homogeneous and work is balanced, so the
+    critical-path DPU is any maximally-loaded one.
+    """
+
+    def __init__(self, config: UpmemConfig | None = None) -> None:
+        self.config = config if config is not None else UpmemConfig()
+        self.transfer = TransferModel(self.config.timings)
+
+    @property
+    def timings(self) -> UpmemTimings:
+        return self.config.timings
+
+    @property
+    def total_dpus(self) -> int:
+        return self.config.total_dpus
+
+    def partition(self, n_items: int) -> tuple[int, int]:
+        """Split ``n_items`` across DPUs.
+
+        Returns ``(n_dpus_used, items_on_critical_dpu)``.  The critical
+        DPU carries the ceiling share; with fewer items than DPUs each
+        used DPU carries one.
+        """
+        if n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        if n_items == 0:
+            return 0, 0
+        n_dpus = min(self.total_dpus, n_items)
+        per_dpu = -(-n_items // n_dpus)  # ceiling division
+        return n_dpus, per_dpu
+
+    def new_dram_bank(self) -> DramBank:
+        return DramBank(capacity_bytes=self.timings.mram_bytes)
+
+    def new_local_buffer(self) -> LocalBuffer:
+        return LocalBuffer(capacity_bytes=self.timings.wram_bytes)
+
+    def new_processor(self, costs: InstructionCosts | None = None) -> DpuProcessor:
+        return DpuProcessor(
+            timings=self.timings, costs=costs, tasklets=self.config.tasklets_per_dpu
+        )
+
+    def broadcast_s(self, nbytes: int) -> float:
+        """Host→PIM broadcast of shared data (activations) to every rank."""
+        return self.transfer.broadcast_s(nbytes, self.config.num_ranks)
+
+    def scatter_s(self, total_bytes: int) -> float:
+        """Host→PIM distribution of per-DPU private data (weights)."""
+        return self.transfer.scatter_s(total_bytes, self.config.num_ranks)
+
+    def gather_s(self, total_bytes: int) -> float:
+        """PIM→host collection of per-DPU outputs."""
+        return self.transfer.gather_s(total_bytes, self.config.num_ranks)

@@ -76,7 +76,9 @@ def get_scheme(name: str) -> QuantScheme:
 
     Unregistered integer ``WxAy`` names are synthesised on the fly so that
     sweeps over arbitrary bit widths (e.g. the capacity study in Fig. 6)
-    do not require pre-registration.
+    do not require pre-registration.  Synthesised schemes are *not* added
+    to the registry: :func:`list_schemes` stays the curated set of paper
+    configurations no matter what a sweep resolves.
     """
     key = name.upper()
     if key in _REGISTRY:
@@ -84,12 +86,13 @@ def get_scheme(name: str) -> QuantScheme:
     match = re.fullmatch(r"W(\d+)A(\d+)", key)
     if match:
         bw, ba = int(match.group(1)), int(match.group(2))
-        scheme = QuantScheme(
+        if bw < 1 or ba < 1:
+            raise KeyError(f"Unknown quantization scheme: {name!r} (bit widths must be >= 1)")
+        return QuantScheme(
             name=key,
             weight_codec=IntegerCodec(bits=bw, symmetric=True),
             activation_codec=IntegerCodec(bits=ba, symmetric=False),
         )
-        return register_scheme(scheme)
     raise KeyError(f"Unknown quantization scheme: {name!r}")
 
 

@@ -59,10 +59,17 @@ class QuantizedTensor:
         return (total_bits + 7) // 8
 
     def dequantize(self) -> np.ndarray:
-        """Reconstruct the approximate floating point values."""
+        """Reconstruct the approximate floating point values.
+
+        Minifloat codes are routed through :meth:`indices` before hitting
+        the value table, so codecs whose code layout is not the identity
+        (e.g. signed or sign-magnitude layouts) cannot index the table
+        out of order — the table produced by :meth:`values_per_index` is
+        by construction ordered by LUT index, not by raw code.
+        """
         if getattr(self.codec, "is_floating", False):
-            table = self.codec.code_values()
-            return table[self.codes] * self.scale
+            table = self.values_per_index()
+            return table[self.indices()] * self.scale
         return (self.codes.astype(np.float64) - self.zero_point) * self.scale
 
     def indices(self) -> np.ndarray:

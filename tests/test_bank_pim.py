@@ -1,0 +1,78 @@
+"""Tests for repro.pim.bank_pim: the Section VI-K bank-level substrate."""
+
+import pytest
+
+from repro.pim import BankLevelPim, BankPimConfig, DramTimings
+
+
+class TestDramTimings:
+    def test_stream_time_counts_bursts_and_rows(self):
+        t = DramTimings(clock_hz=1e9, tCCD=2, tRCD=10, tRP=10, burst_bytes=32, row_bytes=1024)
+        # 2048 bytes = 64 bursts, 2 rows.
+        expected_cycles = 64 * 2 + 2 * 20
+        assert t.stream_time_s(2048) == pytest.approx(expected_cycles * 1e-9)
+
+    def test_zero_bytes_free(self):
+        assert DramTimings().stream_time_s(0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DramTimings(clock_hz=0)
+        with pytest.raises(ValueError):
+            DramTimings(row_bytes=16, burst_bytes=32)
+
+
+class TestBankPimConfig:
+    def test_unit_validated(self):
+        with pytest.raises(ValueError):
+            BankPimConfig(unit="simd")
+
+    def test_defaults(self):
+        cfg = BankPimConfig()
+        assert cfg.unit == "mac" and cfg.num_banks == 128
+
+
+class TestGemmLatency:
+    def test_mac_unit_cost_independent_of_code_width(self):
+        pim = BankLevelPim(BankPimConfig(unit="mac"))
+        low = pim.gemm_latency(8, 256, 256, weight_bits=1)
+        high = pim.gemm_latency(8, 256, 256, weight_bits=8)
+        assert low.total_s == pytest.approx(high.total_s)
+
+    def test_lut_unit_exploits_packing(self):
+        pim = BankLevelPim(BankPimConfig(unit="lut"))
+        w1 = pim.gemm_latency(8, 256, 256, weight_bits=1, activation_bits=4)
+        w8 = pim.gemm_latency(8, 256, 256, weight_bits=8, activation_bits=4)
+        # 1-bit codes pack 8 products per lane slot -> fewer commands.
+        assert w1.n_commands < w8.n_commands
+        assert w1.stream_s < w8.stream_s
+
+    def test_lut_unit_beats_mac_on_low_bit(self):
+        shape = dict(m=8, k=1024, n=1024, weight_bits=1, activation_bits=3)
+        mac = BankLevelPim(BankPimConfig(unit="mac")).gemm_latency(**shape)
+        lut = BankLevelPim(BankPimConfig(unit="lut")).gemm_latency(**shape)
+        assert lut.total_s < mac.total_s
+
+    def test_lut_staging_charged_once(self):
+        pim = BankLevelPim(BankPimConfig(unit="lut"))
+        res = pim.gemm_latency(1, 64, 64, weight_bits=2, activation_bits=2)
+        entries = 2**2 * 2**2
+        expected = pim.config.timings.stream_time_s(entries * pim.config.lut_entry_bytes)
+        assert res.lut_stage_s == pytest.approx(expected)
+        mac = BankLevelPim(BankPimConfig(unit="mac")).gemm_latency(1, 64, 64)
+        assert mac.lut_stage_s == 0.0
+
+    def test_banks_partition_columns(self):
+        pim = BankLevelPim(BankPimConfig(num_banks=4, unit="mac"))
+        res = pim.gemm_latency(1, 16, 8)
+        assert res.n_banks_used == 4
+
+    def test_empty_gemm(self):
+        res = BankLevelPim().gemm_latency(0, 16, 16)
+        assert res.total_s == 0.0 and res.n_commands == 0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            BankLevelPim().gemm_latency(-1, 2, 2)
+        with pytest.raises(ValueError):
+            BankLevelPim().gemm_latency(1, 2, 2, weight_bits=0)

@@ -1,0 +1,87 @@
+"""Tests for repro.kernels.lut: canonical and reordering LUTs."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.lut import CanonicalLut, ReorderingLut
+from repro.kernels.packing import pack_codes, unpack_codes
+from repro.quant import get_scheme
+
+
+def _operands(scheme_name, m=4, k=16, n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    scheme = get_scheme(scheme_name)
+    a = scheme.activation_codec.quantize(rng.normal(size=(m, k)))
+    w = scheme.weight_codec.quantize(rng.normal(size=(k, n)))
+    return a, w
+
+
+class TestCanonicalLut:
+    def test_entry_count_matches_operand_levels(self):
+        a, w = _operands("W2A4")
+        clut = CanonicalLut.build(w, a)
+        assert clut.table.shape == (4, 16)
+        assert clut.num_entries == 64
+
+    def test_integer_entries_are_exact_products(self):
+        a, w = _operands("W2A3")
+        clut = CanonicalLut.build(w, a)
+        assert clut.table.dtype == np.int64
+        for wi in range(clut.table.shape[0]):
+            for ai in range(clut.table.shape[1]):
+                w_code = w.codec.from_indices(np.array([wi]))[0]
+                a_val = ai - a.zero_point
+                assert clut.table[wi, ai] == w_code * a_val
+
+    def test_lookup_equals_product_of_dequantized_codes(self):
+        a, w = _operands("W4A4")
+        clut = CanonicalLut.build(w, a)
+        gathered = clut.lookup(w.indices(), a.indices()[0][: w.shape[0], None])
+        w_vals = w.values_per_index()[w.indices()]
+        a_vals = a.values_per_index()[a.indices()[0]][: w.shape[0], None]
+        assert np.array_equal(gathered, (w_vals * a_vals).astype(np.int64))
+
+    def test_minifloat_scheme_builds_float_table(self):
+        a, w = _operands("W1A4-FP")
+        clut = CanonicalLut.build(w, a)
+        assert clut.table.dtype == np.float64
+        assert clut.table.shape == (2, 16)
+
+    def test_nbytes(self):
+        a, w = _operands("W2A2")
+        clut = CanonicalLut.build(w, a)
+        assert clut.nbytes(4) == clut.num_entries * 4
+
+
+class TestReorderingLut:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_decode_matches_software_unpack(self, bits):
+        rng = np.random.default_rng(bits)
+        idx = rng.integers(0, 2**bits, size=(53, 7))
+        packed = pack_codes(idx, bits)
+        rlut = ReorderingLut.build(bits)
+        assert np.array_equal(rlut.decode(packed, 53), unpack_codes(packed, bits, 53))
+        assert np.array_equal(rlut.decode(packed, 53), idx)
+
+    def test_table_shape(self):
+        rlut = ReorderingLut.build(2)
+        assert rlut.table.shape == (256, 4)
+        assert rlut.num_entries == 1024
+        assert rlut.nbytes() == 1024
+
+    def test_every_entry_in_code_range(self):
+        for bits in (1, 2, 4):
+            rlut = ReorderingLut.build(bits)
+            assert rlut.table.min() >= 0
+            assert rlut.table.max() < 2**bits
+
+    def test_1d_decode(self):
+        idx = np.array([3, 1, 0, 2, 3])
+        packed = pack_codes(idx, 2)
+        assert np.array_equal(ReorderingLut.build(2).decode(packed, 5), idx)
+
+    def test_count_validated(self):
+        rlut = ReorderingLut.build(4)
+        packed = pack_codes(np.zeros(4, dtype=np.int64), 4)
+        with pytest.raises(ValueError):
+            rlut.decode(packed, 100)

@@ -1,0 +1,65 @@
+"""Tests for repro.pim.timing: the L_D / L_local cost-model anchors."""
+
+import pytest
+
+from repro.pim.timing import DEFAULT_TIMINGS, UpmemTimings
+
+
+class TestProfiledConstants:
+    def test_l_d_matches_paper(self):
+        assert DEFAULT_TIMINGS.dram_entry_load_latency_s == pytest.approx(1.36e-9)
+
+    def test_l_local_matches_paper(self):
+        assert DEFAULT_TIMINGS.local_lookup_latency_s == pytest.approx(3.27e-8)
+
+    def test_per_instruction_time_anchored_to_l_local(self):
+        t = DEFAULT_TIMINGS
+        assert t.instruction_time_s(t.lookup_instructions) == pytest.approx(
+            t.local_lookup_latency_s
+        )
+
+    def test_derived_mac_and_reorder_latencies(self):
+        t = DEFAULT_TIMINGS
+        per_instr = t.local_lookup_latency_s / t.lookup_instructions
+        assert t.int8_mac_latency_s == pytest.approx(t.mac_instructions_int8 * per_instr)
+        assert t.reorder_latency_s == pytest.approx(t.reorder_instructions * per_instr)
+
+
+class TestScaling:
+    def test_with_clock_scales_profiled_constants(self):
+        half = DEFAULT_TIMINGS.with_clock(175e6)
+        assert half.dram_entry_load_latency_s == pytest.approx(2 * 1.36e-9)
+        assert half.local_lookup_latency_s == pytest.approx(2 * 3.27e-8)
+
+    def test_with_clock_preserves_host_parameters(self):
+        scaled = DEFAULT_TIMINGS.with_clock(700e6)
+        assert scaled.host_latency_s == DEFAULT_TIMINGS.host_latency_s
+        assert scaled.host_bandwidth_bytes_per_s == DEFAULT_TIMINGS.host_bandwidth_bytes_per_s
+
+    def test_with_clock_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMINGS.with_clock(0)
+
+
+class TestDma:
+    def test_zero_bytes_is_free(self):
+        assert DEFAULT_TIMINGS.dma_time_s(0) == 0.0
+
+    def test_dma_time_includes_setup_and_streaming(self):
+        t = DEFAULT_TIMINGS
+        nbytes = 1024
+        expected_cycles = t.dma_setup_cycles + nbytes / t.dram_to_wram_bytes_per_cycle
+        assert t.dma_time_s(nbytes) == pytest.approx(expected_cycles / t.clock_hz)
+
+    def test_dma_time_monotonic(self):
+        t = DEFAULT_TIMINGS
+        assert t.dma_time_s(2048) > t.dma_time_s(1024) > 0
+
+
+def test_custom_timings_are_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_TIMINGS.clock_hz = 1.0  # frozen dataclass
+
+
+def test_wram_default_is_64kb():
+    assert UpmemTimings().wram_bytes == 64 * 1024

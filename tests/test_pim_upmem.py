@@ -1,0 +1,77 @@
+"""Tests for repro.pim.upmem: system partitioning and ExecutionStats."""
+
+import pytest
+
+from repro.pim import UpmemConfig, UpmemSystem
+from repro.pim.upmem import ExecutionStats
+
+
+class TestPartition:
+    def test_fewer_items_than_dpus(self):
+        system = UpmemSystem(UpmemConfig(num_ranks=1, dpus_per_rank=64))
+        assert system.partition(10) == (10, 1)
+
+    def test_even_split(self):
+        system = UpmemSystem(UpmemConfig(num_ranks=1, dpus_per_rank=64))
+        assert system.partition(128) == (64, 2)
+
+    def test_critical_dpu_carries_ceiling(self):
+        system = UpmemSystem(UpmemConfig(num_ranks=1, dpus_per_rank=64))
+        assert system.partition(130) == (64, 3)
+
+    def test_zero_items(self):
+        assert UpmemSystem().partition(0) == (0, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UpmemSystem().partition(-1)
+
+    def test_total_dpus(self):
+        assert UpmemSystem(UpmemConfig(num_ranks=4, dpus_per_rank=64)).total_dpus == 256
+
+
+class TestFactories:
+    def test_components_sized_from_timings(self):
+        system = UpmemSystem()
+        assert system.new_local_buffer().capacity_bytes == system.timings.wram_bytes
+        assert system.new_dram_bank().capacity_bytes == system.timings.mram_bytes
+        assert system.new_processor().timings is system.timings
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            UpmemConfig(num_ranks=0)
+        with pytest.raises(ValueError):
+            UpmemConfig(tasklets_per_dpu=0)
+
+
+class TestExecutionStats:
+    def test_total_is_sum_of_terms(self):
+        stats = ExecutionStats(
+            lut_load_s=1.0, compute_s=2.0, reorder_s=0.5, dma_s=0.25, host_s=0.125
+        )
+        assert stats.total_s == pytest.approx(3.875)
+        assert stats.device_s == pytest.approx(3.75)
+
+    def test_breakdown_keys(self):
+        assert set(ExecutionStats().breakdown()) == {
+            "lut_load",
+            "compute",
+            "reorder",
+            "dma",
+            "host",
+        }
+
+    def test_addition_sums_times_and_counts(self):
+        a = ExecutionStats(kernel="a", compute_s=1.0, n_lookups=10, wram_peak_bytes=100, n_dpus_used=4)
+        b = ExecutionStats(kernel="b", compute_s=2.0, n_lookups=5, wram_peak_bytes=300, n_dpus_used=2)
+        c = a + b
+        assert c.kernel == "a"
+        assert c.compute_s == pytest.approx(3.0)
+        assert c.n_lookups == 15
+        # Peaks and grid occupancy take the max, not the sum.
+        assert c.wram_peak_bytes == 300
+        assert c.n_dpus_used == 4
+
+    def test_addition_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ExecutionStats() + 3

@@ -1,0 +1,68 @@
+"""Tests for repro.quant.schemes: registry and WxAy synthesis."""
+
+import pytest
+
+from repro.quant.schemes import QuantScheme, get_scheme, list_schemes, register_scheme
+from repro.quant.integer import IntegerCodec
+
+
+class TestRegistry:
+    def test_paper_configurations_registered(self):
+        names = list_schemes()
+        for expected in ("W1A3", "W1A4", "W2A2", "W4A4", "W8A8", "W1A4-FP", "W4A4-FP"):
+            assert expected in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_scheme("w2a2") is get_scheme("W2A2")
+
+    def test_scheme_properties(self):
+        scheme = get_scheme("W1A3")
+        assert scheme.weight_bits == 1
+        assert scheme.activation_bits == 3
+        assert not scheme.is_floating
+        assert str(scheme) == "W1A3"
+
+    def test_fp_schemes_flagged_floating(self):
+        assert get_scheme("W1A8-FP").is_floating
+        assert get_scheme("W4A4-FP").is_floating
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_scheme("B3A3")
+
+    @pytest.mark.parametrize("name", ["W0A4", "W4A0", "W0A0"])
+    def test_zero_bit_widths_rejected_at_resolution(self, name):
+        with pytest.raises(KeyError):
+            get_scheme(name)
+
+
+class TestSynthesis:
+    def test_synthesised_scheme_has_expected_codecs(self):
+        scheme = get_scheme("W3A5")
+        assert scheme.weight_codec == IntegerCodec(bits=3, symmetric=True)
+        assert scheme.activation_codec == IntegerCodec(bits=5, symmetric=False)
+
+    def test_synthesis_does_not_mutate_registry(self):
+        before = list_schemes()
+        for name in ("W3A3", "W5A5", "W6A2", "W7A1"):
+            get_scheme(name)
+        assert list_schemes() == before
+
+    def test_explicit_registration_still_works(self):
+        before = list_schemes()
+        try:
+            register_scheme(
+                QuantScheme(
+                    "WTEST",
+                    IntegerCodec(bits=2),
+                    IntegerCodec(bits=2, symmetric=False),
+                )
+            )
+            assert "WTEST" in list_schemes()
+            assert get_scheme("wtest").name == "WTEST"
+        finally:
+            # Restore the registry for other tests.
+            from repro.quant import schemes
+
+            schemes._REGISTRY.pop("WTEST", None)
+        assert list_schemes() == before
