@@ -1,0 +1,51 @@
+"""Figure-reproduction experiment driver (the top of the stack).
+
+Sweeps whole transformer workloads — model × scheme × batch/sequence ×
+UPMEM deployment — through the cost-only inference pipeline in
+:mod:`repro.model.cost` and aggregates the results into the paper's
+per-figure tables:
+
+* :mod:`repro.experiments.sweep` — :class:`SweepSpec` grids and the
+  :func:`run_sweep` driver (unsupported points are recorded, not fatal),
+* :mod:`repro.experiments.tables` — latency, energy-breakdown and
+  kernel-ablation tables plus a monospace renderer,
+* :mod:`repro.experiments.io` — JSON and round-trippable CSV output,
+* :mod:`repro.experiments.cli` — the ``python -m repro.experiments``
+  command line.
+"""
+
+from repro.experiments.io import (
+    flatten_row,
+    read_csv,
+    read_json,
+    unflatten_row,
+    write_csv,
+    write_json,
+)
+from repro.experiments.sweep import SweepSpec, run_sweep, spec_dict, stats_dict
+from repro.experiments.tables import (
+    ablation_table,
+    energy_table,
+    format_table,
+    latency_table,
+)
+from repro.experiments.cli import build_parser, main
+
+__all__ = [
+    "SweepSpec",
+    "run_sweep",
+    "spec_dict",
+    "stats_dict",
+    "latency_table",
+    "energy_table",
+    "ablation_table",
+    "format_table",
+    "flatten_row",
+    "unflatten_row",
+    "write_json",
+    "read_json",
+    "write_csv",
+    "read_csv",
+    "build_parser",
+    "main",
+]

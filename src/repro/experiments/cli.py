@@ -1,0 +1,172 @@
+"""Command-line sweep driver: ``python -m repro.experiments``.
+
+Runs a model × scheme × batch/sequence × system grid analytically (no
+PIM hardware needed), prints the latency / energy (and, with several
+kernels, ablation) tables, and writes the full results to JSON or CSV.
+
+Examples
+--------
+Reproduce a model-level latency/energy point set::
+
+    python -m repro.experiments --model gpt-350m --schemes W1A3,W4A4 \\
+        --output /tmp/sweep.json
+
+OP/LC/RC ablation at model scale, two deployments::
+
+    python -m repro.experiments --model gpt-1.3b --schemes W1A3 \\
+        --ablation --ranks 1,4 --output /tmp/ablation.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.io import write_csv, write_json
+from repro.experiments.sweep import SweepSpec, run_sweep, spec_dict
+from repro.experiments.tables import (
+    ablation_table,
+    energy_table,
+    format_table,
+    latency_table,
+)
+from repro.kernels.cost import COST_KERNELS
+from repro.model.config import list_model_configs
+from repro.quant.schemes import list_schemes
+
+__all__ = ["build_parser", "main"]
+
+
+def _csv_list(text: str) -> List[str]:
+    """Split a comma-separated CLI value, dropping empty items."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _int_list(text: str) -> List[int]:
+    """Parse a comma-separated list of integers."""
+    return [int(item) for item in _csv_list(text)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Analytical model-level sweeps over the LUT-GEMM / DRAM-PIM stack.",
+    )
+    parser.add_argument(
+        "--model", action="append", default=None, metavar="NAME",
+        help="model config name (repeatable or comma-separated; default gpt-350m)",
+    )
+    parser.add_argument(
+        "--schemes", type=_csv_list, default=["W1A3"], metavar="W1A3,W4A4",
+        help="comma-separated WxAy schemes for the weight projections",
+    )
+    parser.add_argument(
+        "--kernels", type=_csv_list, default=["lut_gemm"], metavar="K1,K2",
+        help=f"weight-GEMM kernels to cost (choices: {', '.join(COST_KERNELS)})",
+    )
+    parser.add_argument(
+        "--ablation", action="store_true",
+        help="shorthand for --kernels with the full naive/+OP+LC/+RC ladder",
+    )
+    parser.add_argument(
+        "--batch", type=_int_list, default=[1], metavar="1,8",
+        help="comma-separated batch sizes",
+    )
+    parser.add_argument(
+        "--seq-len", type=_int_list, default=[128], metavar="128,512",
+        help="comma-separated prefill (prompt) lengths",
+    )
+    parser.add_argument(
+        "--decode-tokens", type=int, default=32, metavar="N",
+        help="generated tokens per grid point",
+    )
+    parser.add_argument(
+        "--ranks", type=_int_list, default=[4], metavar="1,4",
+        help="comma-separated UPMEM rank counts (64 DPUs per rank)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write results to PATH (.csv writes flattened CSV, anything else JSON)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the stdout tables"
+    )
+    parser.add_argument(
+        "--list-models", action="store_true", help="list model configs and exit"
+    )
+    parser.add_argument(
+        "--list-schemes", action="store_true", help="list registered schemes and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_models:
+        print("\n".join(list_model_configs()))
+        return 0
+    if args.list_schemes:
+        print("\n".join(list_schemes()))
+        return 0
+
+    models: List[str] = []
+    for item in args.model if args.model is not None else ["gpt-350m"]:
+        models.extend(_csv_list(item))
+    if args.ablation and args.kernels != ["lut_gemm"]:
+        print(
+            "error: --ablation and --kernels are mutually exclusive "
+            "(--ablation already selects the full kernel ladder)",
+            file=sys.stderr,
+        )
+        return 2
+    kernels = list(COST_KERNELS) if args.ablation else args.kernels
+
+    try:
+        spec = SweepSpec(
+            models=tuple(models),
+            schemes=tuple(s.upper() for s in args.schemes),
+            kernels=tuple(kernels),
+            batch_sizes=tuple(args.batch),
+            prefill_lens=tuple(args.seq_len),
+            decode_tokens=args.decode_tokens,
+            num_ranks=tuple(args.ranks),
+        )
+        rows = run_sweep(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    tables = {
+        "latency": latency_table(rows),
+        "energy": energy_table(rows),
+        "ablation": ablation_table(rows),
+    }
+    if not args.quiet:
+        print(f"# sweep: {spec.grid_size} grid point(s), "
+              f"{sum(r['status'] == 'ok' for r in rows)} ok")
+        if tables["latency"]:
+            print("\n## Latency (prefill vs decode)\n")
+            print(format_table(tables["latency"]))
+            print("\n## Energy breakdown\n")
+            print(format_table(tables["energy"]))
+        if len(spec.kernels) > 1:
+            print("\n## Kernel ablation\n")
+            print(format_table(tables["ablation"]))
+        unsupported = [r for r in rows if r["status"] != "ok"]
+        for r in unsupported:
+            print(f"\nunsupported: {r['model']} {r['scheme']} {r['kernel']}: {r['error']}")
+
+    if args.output:
+        if args.output.endswith(".csv"):
+            write_csv(args.output, rows)
+        else:
+            write_json(
+                args.output,
+                {"spec": spec_dict(spec), "rows": rows, "tables": tables},
+            )
+        if not args.quiet:
+            print(f"\nwrote {args.output}")
+    return 0

@@ -1,0 +1,111 @@
+"""JSON / CSV serialisation for sweep results.
+
+JSON keeps the nested row structure verbatim; CSV flattens each row with
+dotted keys (``prefill.latency.total_s``) so spreadsheet tooling can
+consume it, and :func:`read_csv` re-parses numeric cells so a write/read
+round-trip preserves values.
+
+>>> from repro.experiments.io import flatten_row, unflatten_row
+>>> flat = flatten_row({"a": {"b": 1.5}, "c": "x"})
+>>> flat
+{'a.b': 1.5, 'c': 'x'}
+>>> unflatten_row(flat)
+{'a': {'b': 1.5}, 'c': 'x'}
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "flatten_row",
+    "unflatten_row",
+    "write_json",
+    "read_json",
+    "write_csv",
+    "read_csv",
+]
+
+
+def flatten_row(row: dict, prefix: str = "") -> Dict[str, object]:
+    """Flatten nested dicts into dotted keys (scalars pass through)."""
+    flat: Dict[str, object] = {}
+    for key, value in row.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_row(value, prefix=f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def unflatten_row(flat: Dict[str, object]) -> dict:
+    """Inverse of :func:`flatten_row`: dotted keys back into nesting."""
+    row: dict = {}
+    for key, value in flat.items():
+        parts = key.split(".")
+        node = row
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return row
+
+
+def write_json(path: str, payload: dict) -> None:
+    """Write a JSON document (sweep payloads are plain dict/list/scalar)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def read_json(path: str) -> dict:
+    """Read back a document written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_csv(path: str, rows: Sequence[dict]) -> None:
+    """Write rows as CSV with dotted-flattened columns.
+
+    The header is the union of all rows' flattened keys (first-seen
+    order), so heterogeneous rows — e.g. ``unsupported`` points without
+    phase dicts — serialise with empty cells.
+    """
+    flat_rows = [flatten_row(r) for r in rows]
+    columns: List[str] = []
+    for fr in flat_rows:
+        for key in fr:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        for fr in flat_rows:
+            writer.writerow(fr)
+
+
+def _parse_cell(text: str) -> object:
+    """Best-effort cell parse: int, then float, then string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def read_csv(path: str) -> List[dict]:
+    """Read a CSV written by :func:`write_csv` back into nested rows.
+
+    Numeric cells are re-parsed; empty cells (padding from the union
+    header) are dropped so round-tripped rows match the originals.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        rows = []
+        for flat in reader:
+            parsed = {k: _parse_cell(v) for k, v in flat.items() if v != ""}
+            rows.append(unflatten_row(parsed))
+        return rows

@@ -1,0 +1,203 @@
+"""The sweep driver: model × scheme × batch/sequence × system grids.
+
+A :class:`SweepSpec` declares the grid; :func:`run_sweep` walks its cross
+product, runs the cost-only inference pipeline for every point, and
+returns one *row* (a plain nested dict, JSON-ready) per grid point.
+Unsupported combinations — e.g. a scheme whose LUTs overflow the 64 KB
+WRAM, or bit widths the naive int8 baseline cannot execute — do not
+abort the sweep: the row is kept with ``status="unsupported"`` and the
+error message, so figure tables can report coverage honestly.
+
+>>> from repro.experiments.sweep import SweepSpec, run_sweep
+>>> rows = run_sweep(SweepSpec(models=("gpt-125m",), schemes=("W1A3",),
+...                            prefill_lens=(8,), decode_tokens=2))
+>>> [r["status"] for r in rows]
+['ok']
+>>> rows[0]["prefill"]["latency"]["total_s"] > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Tuple
+
+from repro.kernels.cost import COST_KERNELS
+from repro.model.config import get_model_config
+from repro.model.cost import model_inference_cost
+from repro.model.policy import SchemePolicy
+from repro.pim.buffer import BufferOverflowError
+from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
+
+__all__ = ["SweepSpec", "run_sweep", "spec_dict", "stats_dict"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one experiment grid.
+
+    Every tuple field is one grid axis; the sweep covers the full cross
+    product.  Empty axes produce an empty sweep (no rows, no error).
+
+    Attributes
+    ----------
+    models:
+        Registered model-config names (see
+        :func:`repro.model.config.list_model_configs`).
+    schemes:
+        ``WxAy`` scheme names for the weight projections.
+    kernels:
+        Weight-GEMM kernels to cost; the full :data:`COST_KERNELS`
+        ladder reproduces the OP/LC/RC ablation at model scale.
+    batch_sizes / prefill_lens:
+        Workload axes: sequences per request and prompt length.
+    decode_tokens:
+        Generated tokens per grid point (scalar, not an axis).
+    num_ranks:
+        UPMEM deployment sizes (ranks of 64 DPUs each).
+    """
+
+    models: Tuple[str, ...] = ("gpt-350m",)
+    schemes: Tuple[str, ...] = ("W1A3",)
+    kernels: Tuple[str, ...] = ("lut_gemm",)
+    batch_sizes: Tuple[int, ...] = (1,)
+    prefill_lens: Tuple[int, ...] = (128,)
+    decode_tokens: int = 32
+    num_ranks: Tuple[int, ...] = (4,)
+
+    def __post_init__(self) -> None:
+        for kernel in self.kernels:
+            if kernel not in COST_KERNELS:
+                raise ValueError(
+                    f"unknown kernel {kernel!r}; expected one of {COST_KERNELS}"
+                )
+        # Workload parameters are validated here, at spec construction,
+        # so that a caller error cannot masquerade as an "unsupported"
+        # row (that label is reserved for scheme/hardware mismatches).
+        for batch in self.batch_sizes:
+            if batch < 1:
+                raise ValueError(f"batch sizes must be >= 1, got {batch}")
+        for prefill in self.prefill_lens:
+            if prefill < 1:
+                raise ValueError(f"prefill lengths must be >= 1, got {prefill}")
+        if self.decode_tokens < 0:
+            raise ValueError(f"decode_tokens must be >= 0, got {self.decode_tokens}")
+        for ranks in self.num_ranks:
+            if ranks < 1:
+                raise ValueError(f"rank counts must be >= 1, got {ranks}")
+
+    @property
+    def grid_size(self) -> int:
+        """Number of grid points the sweep will visit."""
+        return (
+            len(self.models)
+            * len(self.schemes)
+            * len(self.kernels)
+            * len(self.batch_sizes)
+            * len(self.prefill_lens)
+            * len(self.num_ranks)
+        )
+
+
+def stats_dict(stats: ExecutionStats) -> Dict[str, float]:
+    """Flatten an :class:`ExecutionStats` into a JSON-ready latency dict."""
+    d = dict(stats.breakdown())
+    out = {f"{name}_s": value for name, value in d.items()}
+    out["total_s"] = stats.total_s
+    out["device_s"] = stats.device_s
+    out["n_lookups"] = stats.n_lookups
+    out["n_macs"] = stats.n_macs
+    out["n_dpus_used"] = stats.n_dpus_used
+    out["dma_bytes"] = stats.dma_bytes
+    out["host_bytes"] = stats.host_bytes
+    return out
+
+
+def _phase_dict(phase) -> Dict[str, object]:
+    """Nested latency + energy dict for one :class:`PhaseCost`."""
+    energy = {f"{name}_pj": value for name, value in phase.energy.as_dict().items()}
+    energy["total_pj"] = phase.energy.total_pj
+    energy["total_j"] = phase.energy.total_j
+    return {
+        "tokens": phase.tokens,
+        "latency": stats_dict(phase.stats),
+        "energy": energy,
+        "tokens_per_s": phase.tokens_per_s,
+    }
+
+
+def run_sweep(spec: SweepSpec) -> List[dict]:
+    """Execute the grid and return one row dict per point.
+
+    Row layout (``status == "ok"``)::
+
+        {model, scheme, kernel, batch, prefill_tokens, decode_tokens,
+         num_ranks, status, error,
+         prefill: {tokens, latency: {...}, energy: {...}, tokens_per_s},
+         decode:  {...same shape...},
+         total_s, total_energy_j, kv_cache_bytes, weight_bytes,
+         gemms: {qkv: {...}, attn_out: ..., ffn_up: ..., ffn_down: ...,
+                 attn_scores: ..., attn_values: ...}}
+
+    Unsupported points carry ``status="unsupported"`` plus ``error`` and
+    omit the phase dicts.
+    """
+    rows: List[dict] = []
+    for model_name in spec.models:
+        config = get_model_config(model_name)
+        for num_ranks in spec.num_ranks:
+            system = UpmemSystem(UpmemConfig(num_ranks=num_ranks))
+            for scheme_name in spec.schemes:
+                policy = SchemePolicy(scheme_name)
+                for kernel in spec.kernels:
+                    for batch in spec.batch_sizes:
+                        for prefill in spec.prefill_lens:
+                            rows.append(
+                                _run_point(
+                                    config, model_name, policy, scheme_name,
+                                    kernel, batch, prefill, spec.decode_tokens,
+                                    num_ranks, system,
+                                )
+                            )
+    return rows
+
+
+def _run_point(
+    config, model_name, policy, scheme_name, kernel, batch, prefill,
+    decode_tokens, num_ranks, system,
+) -> dict:
+    """Cost one grid point, downgrading kernel errors to an error row."""
+    row = {
+        "model": model_name,
+        "scheme": scheme_name,
+        "kernel": kernel,
+        "batch": batch,
+        "prefill_tokens": prefill,
+        "decode_tokens": decode_tokens,
+        "num_ranks": num_ranks,
+        "status": "ok",
+        "error": "",
+    }
+    try:
+        cost = model_inference_cost(
+            config, policy, batch=batch, prefill_tokens=prefill,
+            decode_tokens=decode_tokens, system=system, kernel=kernel,
+        )
+    except (BufferOverflowError, ValueError) as exc:
+        row["status"] = "unsupported"
+        row["error"] = str(exc)
+        return row
+    row["prefill"] = _phase_dict(cost.prefill)
+    row["decode"] = _phase_dict(cost.decode)
+    row["total_s"] = cost.total_s
+    row["total_energy_j"] = cost.total_energy_j
+    row["kv_cache_bytes"] = cost.kv_cache_bytes
+    row["weight_bytes"] = cost.weight_bytes
+    row["gemms"] = {name: stats_dict(s) for name, s in cost.per_projection.items()}
+    return row
+
+
+def spec_dict(spec: SweepSpec) -> dict:
+    """JSON-ready form of a :class:`SweepSpec` (tuples become lists)."""
+    d = asdict(spec)
+    return {k: list(v) if isinstance(v, tuple) else v for k, v in d.items()}

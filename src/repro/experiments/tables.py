@@ -1,0 +1,136 @@
+"""Aggregate sweep rows into the paper's per-figure tables.
+
+Each function consumes the row dicts produced by
+:func:`repro.experiments.sweep.run_sweep` and emits a flat list of table
+rows ready for :func:`repro.experiments.io.write_csv` or for the text
+renderer :func:`format_table`:
+
+* :func:`latency_table` — prefill vs decode latency and throughput per
+  (model, scheme, kernel) point (the paper's model-latency figures),
+* :func:`energy_table` — per-component energy shares per phase (the
+  Fig. 14-style energy breakdown at model scale),
+* :func:`ablation_table` — kernel-ladder speedups (naive → +OP+LC →
+  +RC) whenever a sweep covered several kernels (the optimisation
+  ablation at model scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["latency_table", "energy_table", "ablation_table", "format_table"]
+
+#: Row keys identifying one workload point (everything but the kernel).
+_POINT_KEYS = ("model", "scheme", "batch", "prefill_tokens", "decode_tokens", "num_ranks")
+
+
+def _ok(rows: Sequence[dict]) -> List[dict]:
+    """Rows that completed (``status == "ok"``)."""
+    return [r for r in rows if r.get("status") == "ok"]
+
+
+def latency_table(rows: Sequence[dict]) -> List[dict]:
+    """Prefill/decode latency and throughput per completed grid point."""
+    table = []
+    for r in _ok(rows):
+        decode_tokens = r["decode_tokens"]
+        decode_s = r["decode"]["latency"]["total_s"]
+        table.append(
+            {
+                "model": r["model"],
+                "scheme": r["scheme"],
+                "kernel": r["kernel"],
+                "batch": r["batch"],
+                "prefill_tokens": r["prefill_tokens"],
+                "num_ranks": r["num_ranks"],
+                "prefill_s": r["prefill"]["latency"]["total_s"],
+                "decode_s": decode_s,
+                "decode_ms_per_token": (
+                    1e3 * decode_s / decode_tokens if decode_tokens else 0.0
+                ),
+                "prefill_tokens_per_s": r["prefill"]["tokens_per_s"],
+                "decode_tokens_per_s": r["decode"]["tokens_per_s"],
+                "kv_cache_mb": r["kv_cache_bytes"] / 1e6,
+                "weight_mb": r["weight_bytes"] / 1e6,
+            }
+        )
+    return table
+
+
+def energy_table(rows: Sequence[dict]) -> List[dict]:
+    """Per-component energy (joules) for each phase of each grid point."""
+    table = []
+    for r in _ok(rows):
+        for phase in ("prefill", "decode"):
+            energy = r[phase]["energy"]
+            total_pj = energy["total_pj"]
+            entry = {
+                "model": r["model"],
+                "scheme": r["scheme"],
+                "kernel": r["kernel"],
+                "batch": r["batch"],
+                "prefill_tokens": r["prefill_tokens"],
+                "num_ranks": r["num_ranks"],
+                "phase": phase,
+                "total_j": energy["total_j"],
+            }
+            for component in ("dram", "wram", "compute", "host", "static"):
+                pj = energy[f"{component}_pj"]
+                entry[f"{component}_j"] = pj * 1e-12
+                entry[f"{component}_share"] = pj / total_pj if total_pj else 0.0
+            table.append(entry)
+    return table
+
+
+def ablation_table(rows: Sequence[dict]) -> List[dict]:
+    """Kernel-ladder totals and speedups per workload point.
+
+    Groups completed rows by workload point; within each group every
+    kernel's end-to-end latency is reported together with its speedup
+    over the slowest kernel present (``naive_pim_gemm`` when the full
+    ladder ran), reproducing the OP/LC/RC ablation bars at model scale.
+    """
+    groups: Dict[tuple, List[dict]] = {}
+    for r in _ok(rows):
+        groups.setdefault(tuple(r[k] for k in _POINT_KEYS), []).append(r)
+    table = []
+    for key, group in groups.items():
+        baseline = max(g["total_s"] for g in group)
+        for g in sorted(group, key=lambda g: -g["total_s"]):
+            entry = dict(zip(_POINT_KEYS, key))
+            entry["kernel"] = g["kernel"]
+            entry["total_s"] = g["total_s"]
+            entry["speedup"] = baseline / g["total_s"] if g["total_s"] else 0.0
+            table.append(entry)
+    return table
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render table rows as aligned monospace text for the CLI.
+
+    ``columns`` defaults to the keys of the first row; floats are
+    formatted with ``float_digits`` significant digits.
+    """
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.{float_digits}g}"
+        return str(value)
+
+    rendered = [[fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rendered)
+    return "\n".join([header, rule, body])

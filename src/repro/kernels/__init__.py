@@ -17,6 +17,7 @@ from repro.kernels.packing import elems_per_byte, pack_codes, unpack_codes
 from repro.kernels.lut import CanonicalLut, ReorderingLut
 from repro.kernels.lut_gemm import GemmResult, lut_gemm, quantize_gemm_operands
 from repro.kernels.baselines import ablation_sweep, naive_pim_gemm, software_reorder_gemm
+from repro.kernels.cost import COST_KERNELS, batch_gemm_cost, gemm_cost
 
 __all__ = [
     "elems_per_byte",
@@ -30,4 +31,7 @@ __all__ = [
     "naive_pim_gemm",
     "software_reorder_gemm",
     "ablation_sweep",
+    "COST_KERNELS",
+    "gemm_cost",
+    "batch_gemm_cost",
 ]

@@ -35,6 +35,44 @@ from repro.quant.tensor import QuantizedTensor
 __all__ = ["naive_pim_gemm", "software_reorder_gemm", "ablation_sweep"]
 
 
+def _check_naive_codecs(activation_codec, weight_codec) -> None:
+    """Validate that both codecs fit the DPU's native 8-bit multiplier."""
+    if activation_codec.bits > 8 or weight_codec.bits > 8:
+        raise ValueError("naive_pim_gemm models the native 8-bit multiplier")
+    if getattr(activation_codec, "is_floating", False) or getattr(
+        weight_codec, "is_floating", False
+    ):
+        raise ValueError("integer baseline cannot consume minifloat operands")
+
+
+def _naive_cost_stats(
+    system: UpmemSystem, activation_bits: int, m: int, k: int, n: int
+) -> ExecutionStats:
+    """Analytical cost of the naive int8-MAC baseline on the critical DPU.
+
+    Shared by :func:`naive_pim_gemm` and the cost-only entry point
+    (:func:`repro.kernels.cost.gemm_cost`), mirroring
+    :func:`repro.kernels.lut_gemm._lut_cost_stats`.
+    """
+    t = system.timings
+    stats = ExecutionStats(kernel="naive_pim_gemm")
+    n_dpus, cols = system.partition(n)
+    stats.n_dpus_used = n_dpus
+    if n_dpus == 0 or m == 0 or k == 0:
+        return stats
+
+    stats.n_macs = m * k * cols
+    stats.compute_s = stats.n_macs * t.int8_mac_latency_s
+    stats.n_instructions = stats.n_macs * t.mac_instructions_int8
+
+    buffer = system.new_local_buffer()
+    weight_bytes = k * cols  # one byte per unpacked weight
+    _finish_stats(
+        system, stats, buffer, weight_bytes, m, k, n, cols, _code_bytes(activation_bits)
+    )
+    return stats
+
+
 def naive_pim_gemm(
     activations: QuantizedTensor,
     weights: QuantizedTensor,
@@ -47,35 +85,15 @@ def naive_pim_gemm(
     this baseline does not extend past 8-bit codes.
     """
     system = system if system is not None else UpmemSystem()
-    t = system.timings
     m, k, n = _check_operands(activations, weights)
-    if activations.bits > 8 or weights.bits > 8:
-        raise ValueError("naive_pim_gemm models the native 8-bit multiplier")
-    if getattr(activations.codec, "is_floating", False) or getattr(
-        weights.codec, "is_floating", False
-    ):
-        raise ValueError("integer baseline cannot consume minifloat operands")
+    _check_naive_codecs(activations.codec, weights.codec)
 
     a_int = activations.values_per_index().astype(np.int64)[activations.indices()]
     w_int = weights.values_per_index().astype(np.int64)[weights.indices()]
     acc = a_int @ w_int
     output = acc.astype(np.float64) * (activations.scale * weights.scale)
 
-    stats = ExecutionStats(kernel="naive_pim_gemm")
-    n_dpus, cols = system.partition(n)
-    stats.n_dpus_used = n_dpus
-    if n_dpus == 0 or m == 0 or k == 0:
-        return GemmResult(output=output, accumulator=acc, stats=stats)
-
-    stats.n_macs = m * k * cols
-    stats.compute_s = stats.n_macs * t.int8_mac_latency_s
-    stats.n_instructions = stats.n_macs * t.mac_instructions_int8
-
-    buffer = system.new_local_buffer()
-    weight_bytes = k * cols  # one byte per unpacked weight
-    _finish_stats(
-        system, stats, buffer, weight_bytes, m, k, n, cols, _code_bytes(activations.bits)
-    )
+    stats = _naive_cost_stats(system, activations.bits, m, k, n)
     return GemmResult(output=output, accumulator=acc, stats=stats)
 
 

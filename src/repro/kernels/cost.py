@@ -1,0 +1,164 @@
+"""Cost-only GEMM entry points for model-level sweeps.
+
+The functional kernels in :mod:`repro.kernels.lut_gemm` and
+:mod:`repro.kernels.baselines` materialise real operand arrays, which is
+what the bit-exactness tests need but is far too slow for sweeping whole
+transformer models (a single GPT-6.7B FFN projection is a
+``[M, 4096] x [4096, 16384]`` GEMM).  :func:`gemm_cost` produces the
+*identical* :class:`~repro.pim.upmem.ExecutionStats` from just the GEMM
+shape and the quantization scheme: it builds the same LUT objects the
+kernel would and routes them through the very same shared cost functions
+(``_lut_cost_stats`` / ``_naive_cost_stats``), so consistency with the
+functional kernels is structural, not coincidental.
+
+Example
+-------
+>>> from repro.kernels.cost import gemm_cost
+>>> stats = gemm_cost("W1A3", m=16, k=768, n=768)
+>>> stats.kernel
+'lut_gemm'
+>>> stats.n_lookups == 16 * 768 * 12  # 768 columns over 64 DPUs
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.kernels.baselines import _check_naive_codecs, _naive_cost_stats
+from repro.kernels.lut import CanonicalLut, ReorderingLut
+from repro.kernels.lut_gemm import _lut_cost_stats
+from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
+from repro.quant.schemes import QuantScheme, resolve_scheme
+from repro.quant.tensor import QuantizedTensor
+
+__all__ = ["COST_KERNELS", "gemm_cost", "batch_gemm_cost"]
+
+#: Kernel names accepted by :func:`gemm_cost`, ordered as the paper's
+#: optimisation ladder (naive -> +OP+LC -> +RC).
+COST_KERNELS = ("naive_pim_gemm", "software_reorder_gemm", "lut_gemm")
+
+SchemeLike = Union[str, QuantScheme]
+Shape = Tuple[SchemeLike, int, int, int]
+
+
+def _dummy_operands(scheme: QuantScheme) -> tuple[QuantizedTensor, QuantizedTensor]:
+    """Empty tensors carrying the scheme's codecs (for LUT construction).
+
+    LUT sizing and entry values only depend on the codecs, never on the
+    actual codes, so zero-element tensors suffice.
+    """
+    empty = np.zeros((0,), dtype=np.int64)
+    a = QuantizedTensor(codes=empty, scale=1.0, zero_point=0, codec=scheme.activation_codec)
+    w = QuantizedTensor(codes=empty, scale=1.0, zero_point=0, codec=scheme.weight_codec)
+    return a, w
+
+
+@lru_cache(maxsize=4096)
+def _cached_cost(
+    scheme: QuantScheme, m: int, k: int, n: int, kernel: str, config: UpmemConfig
+) -> ExecutionStats:
+    """Memoised cost computation (schemes and configs are frozen/hashable)."""
+    system = UpmemSystem(config)
+    if kernel == "naive_pim_gemm":
+        _check_naive_codecs(scheme.activation_codec, scheme.weight_codec)
+        return _naive_cost_stats(system, scheme.activation_bits, m, k, n)
+    activations, weights = _dummy_operands(scheme)
+    software_reorder = kernel == "software_reorder_gemm"
+    rlut = None if software_reorder else ReorderingLut.build(scheme.weight_bits)
+    clut = CanonicalLut.build(weights, activations)
+    return _lut_cost_stats(
+        system,
+        clut,
+        rlut,
+        scheme.weight_bits,
+        scheme.activation_bits,
+        m,
+        k,
+        n,
+        software_reorder,
+    )
+
+
+def gemm_cost(
+    scheme: SchemeLike,
+    m: int,
+    k: int,
+    n: int,
+    system: UpmemSystem | None = None,
+    kernel: str = "lut_gemm",
+) -> ExecutionStats:
+    """Analytical :class:`ExecutionStats` for one ``[m, k] x [k, n]`` GEMM.
+
+    Parameters
+    ----------
+    scheme:
+        A :class:`~repro.quant.schemes.QuantScheme` or its name
+        (e.g. ``"W1A3"``).
+    m, k, n:
+        GEMM shape: activations ``[m, k]``, weights ``[k, n]``.
+    system:
+        UPMEM deployment to cost against; defaults to one rank.
+    kernel:
+        One of :data:`COST_KERNELS`.
+
+    Raises
+    ------
+    BufferOverflowError
+        When the scheme's LUTs do not fit the 64 KB WRAM (LUT kernels).
+    ValueError
+        For shapes with negative dimensions, unknown kernel names, or
+        schemes the naive int8 baseline cannot run.
+
+    Notes
+    -----
+    Only ``system.config`` is consulted (results are memoised per
+    config), so unlike the functional kernels this path does not mutate
+    the caller's system — in particular the cumulative
+    ``system.transfer.bytes_moved`` counter does not accrue.  Host-bus
+    traffic is still fully reported per call via ``stats.host_bytes``.
+
+    Example
+    -------
+    >>> from repro.kernels import lut_gemm, quantize_gemm_operands
+    >>> from repro.quant import get_scheme
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> a, w = quantize_gemm_operands(
+    ...     rng.normal(size=(4, 32)), rng.normal(size=(32, 16)), get_scheme("W2A2")
+    ... )
+    >>> gemm_cost("W2A2", 4, 32, 16) == lut_gemm(a, w).stats
+    True
+    """
+    if kernel not in COST_KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {COST_KERNELS}")
+    if m < 0 or k < 0 or n < 0:
+        raise ValueError(f"GEMM dimensions must be non-negative, got {(m, k, n)}")
+    resolved = resolve_scheme(scheme)
+    config = system.config if system is not None else UpmemConfig()
+    stats = _cached_cost(resolved, m, k, n, kernel, config)
+    # Stats are mutable; hand each caller an independent copy of the
+    # cached instance so sweeps cannot corrupt one another.
+    return replace(stats)
+
+
+def batch_gemm_cost(
+    shapes: Iterable[Shape],
+    system: UpmemSystem | None = None,
+    kernel: str = "lut_gemm",
+) -> ExecutionStats:
+    """Sequentially-composed cost of a batch of GEMMs.
+
+    ``shapes`` is an iterable of ``(scheme, m, k, n)`` tuples — e.g. every
+    projection in a decoder block.  Latency and event counts add; WRAM
+    peak and DPUs used take the maximum (see
+    :meth:`ExecutionStats.__add__`).
+    """
+    total = ExecutionStats()
+    for scheme, m, k, n in shapes:
+        total = total + gemm_cost(scheme, m, k, n, system=system, kernel=kernel)
+    return total

@@ -147,6 +147,67 @@ def _finish_stats(
     stats.host_s = system.broadcast_s(act_bytes) + system.gather_s(out_total)
 
 
+def _lut_cost_stats(
+    system: UpmemSystem,
+    clut: CanonicalLut,
+    rlut: ReorderingLut | None,
+    weight_bits: int,
+    activation_bits: int,
+    m: int,
+    k: int,
+    n: int,
+    software_reorder: bool,
+) -> ExecutionStats:
+    """Analytical cost of one LUT GEMM on the critical-path DPU.
+
+    Shared by the functional kernel (:func:`lut_gemm`) and the cost-only
+    entry point (:func:`repro.kernels.cost.gemm_cost`) so model-level
+    sweeps are guaranteed to report exactly what the kernel would.
+    ``rlut`` must be ``None`` iff ``software_reorder`` is set.
+    """
+    t = system.timings
+    stats = ExecutionStats(
+        kernel="software_reorder_gemm" if software_reorder else "lut_gemm"
+    )
+    n_dpus, cols = system.partition(n)
+    stats.n_dpus_used = n_dpus
+    if n_dpus == 0 or m == 0 or k == 0:
+        return stats
+
+    buffer = system.new_local_buffer()
+    lut_bytes = clut.nbytes(t.lut_entry_bytes)
+    if not software_reorder:
+        lut_bytes += rlut.nbytes(t.reorder_entry_bytes)
+    if lut_bytes > buffer.bytes_free:
+        raise BufferOverflowError(
+            f"the {weight_bits}-bit x {activation_bits}-bit LUTs need "
+            f"{lut_bytes} B but only {buffer.bytes_free} B of WRAM are free; "
+            f"this scheme cannot run on the LUT kernel (use naive_pim_gemm "
+            f"or a narrower configuration)"
+        )
+    buffer.alloc("canonical_lut", clut.nbytes(t.lut_entry_bytes))
+    stats.n_lut_entry_pairs = clut.num_entries
+    if not software_reorder:
+        buffer.alloc("reordering_lut", rlut.nbytes(t.reorder_entry_bytes))
+        stats.n_lut_entry_pairs = max(clut.num_entries, rlut.num_entries)
+    stats.lut_load_s = stats.n_lut_entry_pairs * t.dram_entry_load_latency_s
+
+    stats.n_lookups = m * k * cols
+    stats.compute_s = stats.n_lookups * t.local_lookup_latency_s
+    stats.n_instructions = stats.n_lookups * t.lookup_instructions
+    if software_reorder:
+        stats.n_reorders = stats.n_lookups
+        stats.reorder_s = stats.n_reorders * t.reorder_latency_s
+        stats.n_instructions += stats.n_reorders * t.reorder_instructions
+
+    kb = -(-k // elems_per_byte(weight_bits))
+    weight_bytes = kb * cols
+    _finish_stats(
+        system, stats, buffer, weight_bytes, m, k, n, cols, _code_bytes(activation_bits)
+    )
+    return stats
+
+
 def lut_gemm(
     activations: QuantizedTensor,
     weights: QuantizedTensor,
@@ -168,7 +229,6 @@ def lut_gemm(
         from WRAM.  Numerics are unchanged.
     """
     system = system if system is not None else UpmemSystem()
-    t = system.timings
     m, k, n = _check_operands(activations, weights)
 
     # --- functional path -------------------------------------------------
@@ -176,6 +236,7 @@ def lut_gemm(
     w_idx_ref = weights.indices()
     packed = pack_codes(w_idx_ref, weights.bits)
     if software_reorder:
+        rlut = None
         w_idx = unpack_codes(packed, weights.bits, k)
     else:
         rlut = ReorderingLut.build(weights.bits)
@@ -185,43 +246,7 @@ def lut_gemm(
     output = acc.astype(np.float64) * (activations.scale * weights.scale)
 
     # --- cost path (critical-path DPU, N partitioned column-wise) --------
-    stats = ExecutionStats(
-        kernel="software_reorder_gemm" if software_reorder else "lut_gemm"
-    )
-    n_dpus, cols = system.partition(n)
-    stats.n_dpus_used = n_dpus
-    if n_dpus == 0 or m == 0 or k == 0:
-        return GemmResult(output=output, accumulator=acc, stats=stats)
-
-    buffer = system.new_local_buffer()
-    lut_bytes = clut.nbytes(t.lut_entry_bytes)
-    if not software_reorder:
-        lut_bytes += rlut.nbytes(t.reorder_entry_bytes)
-    if lut_bytes > buffer.bytes_free:
-        raise BufferOverflowError(
-            f"the {weights.bits}-bit x {activations.bits}-bit LUTs need "
-            f"{lut_bytes} B but only {buffer.bytes_free} B of WRAM are free; "
-            f"this scheme cannot run on the LUT kernel (use naive_pim_gemm "
-            f"or a narrower configuration)"
-        )
-    buffer.alloc("canonical_lut", clut.nbytes(t.lut_entry_bytes))
-    stats.n_lut_entry_pairs = clut.num_entries
-    if not software_reorder:
-        buffer.alloc("reordering_lut", rlut.nbytes(t.reorder_entry_bytes))
-        stats.n_lut_entry_pairs = max(clut.num_entries, rlut.num_entries)
-    stats.lut_load_s = stats.n_lut_entry_pairs * t.dram_entry_load_latency_s
-
-    stats.n_lookups = m * k * cols
-    stats.compute_s = stats.n_lookups * t.local_lookup_latency_s
-    stats.n_instructions = stats.n_lookups * t.lookup_instructions
-    if software_reorder:
-        stats.n_reorders = stats.n_lookups
-        stats.reorder_s = stats.n_reorders * t.reorder_latency_s
-        stats.n_instructions += stats.n_reorders * t.reorder_instructions
-
-    kb = -(-k // elems_per_byte(weights.bits))
-    weight_bytes = kb * cols
-    _finish_stats(
-        system, stats, buffer, weight_bytes, m, k, n, cols, _code_bytes(activations.bits)
+    stats = _lut_cost_stats(
+        system, clut, rlut, weights.bits, activations.bits, m, k, n, software_reorder
     )
     return GemmResult(output=output, accumulator=acc, stats=stats)

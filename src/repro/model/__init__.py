@@ -1,0 +1,60 @@
+"""Transformer workloads mapped onto the LUT-GEMM / DRAM-PIM stack.
+
+This package is the model layer of the reproduction: it turns the
+kernel-level cost model into end-to-end transformer inference figures.
+
+* :mod:`repro.model.config` — GPT-style model shapes (``gpt-350m``,
+  ``gpt-1.3b``, ``gpt-6.7b``, ...) plus KV-cache and packed-weight
+  footprint accounting,
+* :mod:`repro.model.policy` — per-layer / per-projection ``WxAy``
+  scheme selection,
+* :mod:`repro.model.decoder` — a functional decoder block whose weight
+  GEMMs run through :func:`~repro.kernels.lut_gemm.lut_gemm` (numerics
+  included; for small shapes),
+* :mod:`repro.model.cost` — cost-only prefill/decode inference for
+  full-size models, structurally consistent with the kernels.
+"""
+
+from repro.model.config import (
+    ModelConfig,
+    PROJECTION_NAMES,
+    get_model_config,
+    list_model_configs,
+    packed_weight_bytes,
+    register_model_config,
+)
+from repro.model.policy import SchemePolicy
+from repro.model.decoder import (
+    ATTENTION_SCHEME,
+    BlockResult,
+    DecoderBlock,
+    KVCache,
+    attention_gemm_costs,
+)
+from repro.model.cost import (
+    InferenceCost,
+    PhaseCost,
+    block_gemm_cost,
+    model_inference_cost,
+    policy_weight_bytes,
+)
+
+__all__ = [
+    "ModelConfig",
+    "PROJECTION_NAMES",
+    "get_model_config",
+    "list_model_configs",
+    "packed_weight_bytes",
+    "register_model_config",
+    "SchemePolicy",
+    "ATTENTION_SCHEME",
+    "BlockResult",
+    "DecoderBlock",
+    "KVCache",
+    "attention_gemm_costs",
+    "InferenceCost",
+    "PhaseCost",
+    "block_gemm_cost",
+    "model_inference_cost",
+    "policy_weight_bytes",
+]

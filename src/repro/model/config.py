@@ -1,0 +1,193 @@
+"""GPT-style decoder model configurations (the paper's workload shapes).
+
+The paper evaluates model-level latency/energy on GPT-style decoder
+stacks; a :class:`ModelConfig` captures exactly the shape information the
+analytical pipeline needs — hidden width, depth, head count, FFN width —
+plus the bookkeeping the figures report on top of GEMM cost: KV-cache
+footprint and packed-weight footprint per quantization scheme.
+
+A small registry maps the familiar GPT size names to their shapes:
+
+>>> from repro.model.config import get_model_config
+>>> cfg = get_model_config("gpt-350m")
+>>> (cfg.hidden_size, cfg.num_layers, cfg.num_heads)
+(1024, 24, 16)
+>>> cfg.head_dim
+64
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.kernels.packing import elems_per_byte
+from repro.quant.schemes import resolve_scheme
+
+__all__ = [
+    "ModelConfig",
+    "PROJECTION_NAMES",
+    "get_model_config",
+    "list_model_configs",
+    "packed_weight_bytes",
+    "register_model_config",
+]
+
+
+def packed_weight_bytes(k: int, n: int, bits: int) -> int:
+    """MRAM bytes for a ``[k, n]`` weight tensor packed at ``bits`` bits.
+
+    Matches the kernel's byte-aligned per-column packing (each of the
+    ``n`` columns packs its ``k`` codes into whole bytes, as
+    :func:`repro.kernels.packing.pack_codes` does); codes wider than a
+    byte fall back to whole-byte storage per element.
+    """
+    if bits <= 8:
+        kb = -(-k // elems_per_byte(bits))
+    else:
+        kb = k * ((bits + 7) // 8)
+    return kb * n
+
+#: The per-block weight GEMMs routed through the LUT kernel, in execution
+#: order: fused QKV projection, attention output projection, FFN up and
+#: FFN down projections.
+PROJECTION_NAMES = ("qkv", "attn_out", "ffn_up", "ffn_down")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape of one GPT-style decoder-only transformer.
+
+    Attributes
+    ----------
+    name:
+        Registry name, e.g. ``"gpt-350m"``.
+    hidden_size:
+        Model width ``d`` (must be divisible by ``num_heads``).
+    num_layers:
+        Number of decoder blocks.
+    num_heads:
+        Attention heads per block.
+    ffn_size:
+        FFN inner width; ``0`` (the default) means the GPT-standard
+        ``4 * hidden_size``.
+    vocab_size:
+        Vocabulary size (embedding / LM-head rows; not routed through the
+        PIM kernels, reported for completeness).
+    max_seq_len:
+        Maximum supported context length.
+    kv_bytes_per_value:
+        Bytes per cached key/value element (2 for an FP16 cache).
+    """
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    ffn_size: int = 0
+    vocab_size: int = 50257
+    max_seq_len: int = 2048
+    kv_bytes_per_value: int = 2
+
+    def __post_init__(self) -> None:
+        if self.hidden_size < 1 or self.num_layers < 1 or self.num_heads < 1:
+            raise ValueError("hidden_size, num_layers and num_heads must be >= 1")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} is not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.ffn_size == 0:
+            object.__setattr__(self, "ffn_size", 4 * self.hidden_size)
+        if self.ffn_size < 1:
+            raise ValueError("ffn_size must be >= 1 (or 0 for the 4*hidden default)")
+        if self.kv_bytes_per_value < 1:
+            raise ValueError("kv_bytes_per_value must be >= 1")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head width ``d / num_heads``."""
+        return self.hidden_size // self.num_heads
+
+    def projection_shapes(self) -> Dict[str, Tuple[int, int]]:
+        """``{projection_name: (K, N)}`` for the per-block weight GEMMs.
+
+        These are the four matmuls with *static* weight operands — the
+        ones the paper offloads to the LUT kernel.  The dynamic
+        activation-by-activation attention matmuls are shaped per call
+        (they depend on the KV length) and are enumerated by
+        :mod:`repro.model.cost` instead.
+        """
+        d, f = self.hidden_size, self.ffn_size
+        return {
+            "qkv": (d, 3 * d),
+            "attn_out": (d, d),
+            "ffn_up": (d, f),
+            "ffn_down": (f, d),
+        }
+
+    @property
+    def params_per_layer(self) -> int:
+        """Weight parameters in one decoder block (biases excluded)."""
+        return sum(k * n for k, n in self.projection_shapes().values())
+
+    @property
+    def approx_params(self) -> int:
+        """Approximate total parameter count (blocks + token embedding)."""
+        return self.num_layers * self.params_per_layer + self.vocab_size * self.hidden_size
+
+    def kv_cache_bytes(self, batch: int, seq_len: int) -> int:
+        """KV-cache footprint for ``batch`` sequences of ``seq_len`` tokens.
+
+        Keys and values are each ``[batch, seq_len, hidden]`` per layer:
+
+        >>> get_model_config("gpt-350m").kv_cache_bytes(1, 1024)
+        100663296
+        """
+        if batch < 0 or seq_len < 0:
+            raise ValueError("batch and seq_len must be non-negative")
+        return 2 * self.num_layers * batch * seq_len * self.hidden_size * self.kv_bytes_per_value
+
+    def weight_footprint_bytes(self, scheme) -> int:
+        """Packed-weight bytes for the whole decoder stack under ``scheme``.
+
+        Uses the scheme's weight bit width and the kernel's byte-aligned
+        per-column packing (each of the N columns packs its K codes into
+        whole bytes, matching :func:`repro.kernels.packing.pack_codes`).
+        """
+        bits = resolve_scheme(scheme).weight_bits
+        per_layer = sum(
+            packed_weight_bytes(k, n, bits) for k, n in self.projection_shapes().values()
+        )
+        return self.num_layers * per_layer
+
+
+_MODEL_REGISTRY: Dict[str, ModelConfig] = {}
+
+
+def register_model_config(config: ModelConfig) -> ModelConfig:
+    """Register a model configuration under its (lower-cased) name."""
+    _MODEL_REGISTRY[config.name.lower()] = config
+    return config
+
+
+def list_model_configs() -> list:
+    """Names of every registered model configuration, sorted."""
+    return sorted(_MODEL_REGISTRY)
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Resolve a model name such as ``"gpt-350m"`` (case-insensitive)."""
+    key = name.lower()
+    if key not in _MODEL_REGISTRY:
+        raise KeyError(
+            f"Unknown model config: {name!r} (known: {', '.join(list_model_configs())})"
+        )
+    return _MODEL_REGISTRY[key]
+
+
+# GPT-3 family shapes used by the paper's model-level evaluation.
+register_model_config(ModelConfig("gpt-125m", hidden_size=768, num_layers=12, num_heads=12))
+register_model_config(ModelConfig("gpt-350m", hidden_size=1024, num_layers=24, num_heads=16))
+register_model_config(ModelConfig("gpt-1.3b", hidden_size=2048, num_layers=24, num_heads=32))
+register_model_config(ModelConfig("gpt-6.7b", hidden_size=4096, num_layers=32, num_heads=32))

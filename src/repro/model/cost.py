@@ -1,0 +1,242 @@
+"""Cost-only transformer inference on the DRAM-PIM substrate.
+
+This module maps a whole GPT-style decoder stack onto the analytical
+kernel costs in :mod:`repro.kernels.cost` — no operand arrays are ever
+materialised, so full-size models (GPT-6.7B) sweep in milliseconds.
+
+Inference is split the way the paper's model figures are: a **prefill**
+phase that pushes the whole prompt through every layer, and a **decode**
+phase that generates tokens one at a time against a growing KV cache.
+Per phase, each decoder block contributes
+
+* four weight-GEMM costs routed through the selected kernel
+  (``lut_gemm`` by default; the baselines reproduce the OP/LC/RC
+  ablation at model scale), resolved per layer/projection by the
+  :class:`~repro.model.policy.SchemePolicy`, and
+* two attention matmul costs (scores ``Q K^T`` and values ``P V``)
+  always costed on the substrate's native int8-MAC path at
+  :data:`~repro.model.decoder.ATTENTION_SCHEME` precision, since LUTs
+  only apply to static weight operands.
+
+Because the per-GEMM stats come from the same shared cost functions the
+functional kernels use, a sweep's GEMM components are guaranteed to be
+identical to direct :func:`~repro.kernels.lut_gemm.lut_gemm` calls on
+the same shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.kernels.cost import gemm_cost
+from repro.model.config import ModelConfig, packed_weight_bytes
+from repro.model.decoder import attention_gemm_costs
+from repro.model.policy import SchemePolicy
+from repro.pim.energy import EnergyBreakdown, EnergyModel
+from repro.pim.upmem import ExecutionStats, UpmemSystem
+
+__all__ = [
+    "PhaseCost",
+    "InferenceCost",
+    "block_gemm_cost",
+    "model_inference_cost",
+    "policy_weight_bytes",
+]
+
+
+@dataclass
+class PhaseCost:
+    """Latency and energy of one inference phase (prefill or decode).
+
+    Attributes
+    ----------
+    phase:
+        ``"prefill"`` or ``"decode"``.
+    tokens:
+        Tokens processed in the phase across the batch.
+    stats:
+        Summed :class:`ExecutionStats` over all layers (and, for decode,
+        all generated tokens).
+    energy:
+        :class:`EnergyBreakdown` attributed to those stats.
+    """
+
+    phase: str
+    tokens: int
+    stats: ExecutionStats
+    energy: EnergyBreakdown
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end phase latency in seconds."""
+        return self.stats.total_s
+
+    @property
+    def tokens_per_s(self) -> float:
+        """Phase throughput; 0 for an empty phase."""
+        return self.tokens / self.latency_s if self.latency_s > 0 else 0.0
+
+
+@dataclass
+class InferenceCost:
+    """Full-model inference cost: prefill + decode + footprints.
+
+    ``per_projection`` holds layer-0 prefill stats for each GEMM in the
+    block, so callers (and the acceptance tests) can check them against
+    direct kernel invocations on the same shapes.
+    """
+
+    model: ModelConfig
+    kernel: str
+    batch: int
+    prefill_tokens: int
+    decode_tokens: int
+    prefill: PhaseCost
+    decode: PhaseCost
+    kv_cache_bytes: int
+    weight_bytes: int
+    per_projection: Dict[str, ExecutionStats]
+
+    @property
+    def total_s(self) -> float:
+        """Prefill plus decode latency."""
+        return self.prefill.latency_s + self.decode.latency_s
+
+    @property
+    def total_energy_j(self) -> float:
+        """Prefill plus decode energy in joules."""
+        return self.prefill.energy.total_j + self.decode.energy.total_j
+
+
+def policy_weight_bytes(config: ModelConfig, policy: SchemePolicy) -> int:
+    """Packed-weight footprint of the stack under a (mixed) scheme policy."""
+    total = 0
+    shapes = config.projection_shapes()
+    for layer in range(config.num_layers):
+        for name, (k, n) in shapes.items():
+            bits = policy.scheme_for(layer, name).weight_bits
+            total += packed_weight_bytes(k, n, bits)
+    return total
+
+
+def block_gemm_cost(
+    config: ModelConfig,
+    policy: SchemePolicy,
+    layer: int,
+    batch: int,
+    seq_q: int,
+    kv_len: int,
+    system: Optional[UpmemSystem] = None,
+    kernel: str = "lut_gemm",
+) -> Tuple[ExecutionStats, Dict[str, ExecutionStats]]:
+    """Cost of one decoder block processing ``seq_q`` query tokens.
+
+    Parameters
+    ----------
+    layer:
+        Block index (drives per-layer scheme overrides).
+    batch, seq_q:
+        The weight GEMMs see ``M = batch * seq_q`` rows.
+    kv_len:
+        KV positions visible to the queries (``seq_q`` during prefill,
+        the full cached history plus one during decode).
+    kernel:
+        Weight-GEMM kernel; attention matmuls always use the native
+        int8-MAC path (see module docstring).
+
+    Returns
+    -------
+    (total, per_gemm):
+        Summed block stats and the individual GEMM stats by name.
+    """
+    m = batch * seq_q
+    per_gemm: Dict[str, ExecutionStats] = {}
+    for name, (k, n) in config.projection_shapes().items():
+        scheme = policy.scheme_for(layer, name)
+        per_gemm[name] = gemm_cost(scheme, m, k, n, system=system, kernel=kernel)
+    per_gemm.update(
+        attention_gemm_costs(
+            config.num_heads, config.head_dim, batch, seq_q, kv_len, system
+        )
+    )
+    total = ExecutionStats(kernel="decoder_block")
+    for stats in per_gemm.values():
+        total = total + stats
+    return total, per_gemm
+
+
+def model_inference_cost(
+    config: ModelConfig,
+    policy: SchemePolicy,
+    batch: int = 1,
+    prefill_tokens: int = 128,
+    decode_tokens: int = 32,
+    system: Optional[UpmemSystem] = None,
+    kernel: str = "lut_gemm",
+    energy_model: Optional[EnergyModel] = None,
+) -> InferenceCost:
+    """End-to-end analytical inference cost for one model configuration.
+
+    Prefill runs every layer once over the ``prefill_tokens``-long
+    prompt; decode then generates ``decode_tokens`` tokens, each a
+    single-query pass per layer against a KV cache that has grown to
+    ``prefill_tokens + t`` positions at step ``t``.
+
+    Raises whatever the underlying kernels raise for unsupported
+    schemes (e.g. :class:`~repro.pim.buffer.BufferOverflowError` when a
+    scheme's LUTs exceed WRAM) — sweep drivers catch these to mark grid
+    points unsupported.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if prefill_tokens < 1:
+        raise ValueError("prefill_tokens must be >= 1 (the prompt has at least one token)")
+    if decode_tokens < 0:
+        raise ValueError("decode_tokens must be >= 0")
+    energy_model = energy_model if energy_model is not None else EnergyModel()
+
+    prefill_stats = ExecutionStats(kernel="prefill")
+    per_projection: Dict[str, ExecutionStats] = {}
+    for layer in range(config.num_layers):
+        block, per_gemm = block_gemm_cost(
+            config, policy, layer, batch, prefill_tokens, prefill_tokens,
+            system=system, kernel=kernel,
+        )
+        prefill_stats = prefill_stats + block
+        if layer == 0:
+            per_projection = per_gemm
+
+    decode_stats = ExecutionStats(kernel="decode")
+    for t in range(decode_tokens):
+        kv_len = prefill_tokens + t + 1
+        for layer in range(config.num_layers):
+            block, _ = block_gemm_cost(
+                config, policy, layer, batch, 1, kv_len, system=system, kernel=kernel
+            )
+            decode_stats = decode_stats + block
+
+    prefill = PhaseCost(
+        phase="prefill",
+        tokens=batch * prefill_tokens,
+        stats=prefill_stats,
+        energy=energy_model.breakdown(prefill_stats),
+    )
+    decode = PhaseCost(
+        phase="decode",
+        tokens=batch * decode_tokens,
+        stats=decode_stats,
+        energy=energy_model.breakdown(decode_stats),
+    )
+    return InferenceCost(
+        model=config,
+        kernel=kernel,
+        batch=batch,
+        prefill_tokens=prefill_tokens,
+        decode_tokens=decode_tokens,
+        prefill=prefill,
+        decode=decode,
+        kv_cache_bytes=config.kv_cache_bytes(batch, prefill_tokens + decode_tokens),
+        weight_bytes=policy_weight_bytes(config, policy),
+        per_projection=per_projection,
+    )

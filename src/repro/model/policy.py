@@ -1,0 +1,91 @@
+"""Per-layer / per-projection quantization scheme selection.
+
+The paper's model-level results mix precisions: most projections run at
+the headline ``WxAy`` configuration while sensitive layers (commonly the
+first and last blocks) or individual projections can be held at a wider
+scheme.  A :class:`SchemePolicy` captures that mapping declaratively so
+both the functional decoder block and the cost-only sweep driver resolve
+schemes identically.
+
+>>> from repro.model.policy import SchemePolicy
+>>> policy = SchemePolicy("W1A3", layer_overrides={0: "W4A4"},
+...                       projection_overrides={"ffn_down": "W2A2"})
+>>> policy.scheme_for(0, "qkv").name        # layer override wins
+'W4A4'
+>>> policy.scheme_for(3, "ffn_down").name   # projection override
+'W2A2'
+>>> policy.scheme_for(3, "qkv").name        # default
+'W1A3'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.quant.schemes import QuantScheme, resolve_scheme
+
+__all__ = ["SchemePolicy"]
+
+
+class SchemePolicy:
+    """Resolve the ``WxAy`` scheme for a (layer, projection) pair.
+
+    Parameters
+    ----------
+    default:
+        Scheme (or name) used when no override matches.
+    layer_overrides:
+        ``{layer_index: scheme}`` — applies to every projection of that
+        layer and takes precedence over projection overrides.
+    projection_overrides:
+        ``{projection_name: scheme}`` — applies to that projection in
+        every layer without a layer override.
+    """
+
+    def __init__(
+        self,
+        default,
+        layer_overrides: Optional[Mapping[int, object]] = None,
+        projection_overrides: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.default: QuantScheme = resolve_scheme(default)
+        self.layer_overrides: Dict[int, QuantScheme] = {
+            int(layer): resolve_scheme(s) for layer, s in (layer_overrides or {}).items()
+        }
+        self.projection_overrides: Dict[str, QuantScheme] = {
+            str(proj): resolve_scheme(s)
+            for proj, s in (projection_overrides or {}).items()
+        }
+
+    def scheme_for(self, layer: int, projection: str) -> QuantScheme:
+        """The scheme governing ``projection`` in decoder block ``layer``."""
+        if layer in self.layer_overrides:
+            return self.layer_overrides[layer]
+        if projection in self.projection_overrides:
+            return self.projection_overrides[projection]
+        return self.default
+
+    def schemes_used(self, num_layers: int, projections) -> list:
+        """Distinct scheme names the policy resolves to over a model.
+
+        Useful for reporting which LUT configurations a sweep will
+        actually exercise.
+        """
+        names = {
+            self.scheme_for(layer, proj).name
+            for layer in range(num_layers)
+            for proj in projections
+        }
+        return sorted(names)
+
+    def is_uniform(self) -> bool:
+        """True when every (layer, projection) resolves to the default."""
+        return not self.layer_overrides and not self.projection_overrides
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SchemePolicy(default={self.default.name}, "
+            f"layer_overrides={ {k: v.name for k, v in self.layer_overrides.items()} }, "
+            f"projection_overrides="
+            f"{ {k: v.name for k, v in self.projection_overrides.items()} })"
+        )

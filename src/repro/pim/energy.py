@@ -7,6 +7,37 @@ The per-event constants are modelling parameters in picojoules — they
 default to values representative of a DDR4-class PIM DIMM, and studies
 that sweep them (e.g. a low-power WRAM variant) just construct a new
 :class:`EnergyModel`.
+
+Example
+-------
+Attribute energy to a hand-built stats record (2 DPUs, 1000 lookups of
+12 instructions each, 4 KB of DMA traffic, 8 KB over the host bus):
+
+>>> from repro.pim.energy import EnergyModel
+>>> from repro.pim.upmem import ExecutionStats
+>>> stats = ExecutionStats(kernel="lut_gemm", n_lookups=1000,
+...                        n_instructions=12000, dma_bytes=4096,
+...                        host_bytes=8192, n_dpus_used=2)
+>>> model = EnergyModel()
+>>> breakdown = model.breakdown(stats)
+>>> int(breakdown.compute_pj)       # 2 DPUs x 12000 instr x 10 pJ
+240000
+>>> int(breakdown.dram_pj)          # 2 DPUs x 4096 B x 25 pJ/B
+204800
+>>> int(breakdown.host_pj)          # 8192 B x 150 pJ/B (bus, not per-DPU)
+1228800
+>>> breakdown.static_pj             # no latency recorded -> no static term
+0.0
+>>> sorted(breakdown.as_dict())
+['compute', 'dram', 'host', 'static', 'wram']
+
+Doubling an event constant scales only its component:
+
+>>> hot = EnergyModel(instruction_pj=20.0)
+>>> int(hot.breakdown(stats).compute_pj)
+480000
+>>> int(hot.breakdown(stats).dram_pj)
+204800
 """
 
 from __future__ import annotations

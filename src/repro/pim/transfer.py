@@ -7,6 +7,35 @@ rank; the replicas are written rank-parallel so the cost is one copy of
 the payload) and *scatter/gather* (per-DPU private data — packed weights
 in, partial outputs back — whose aggregate volume is spread across ranks
 transferring in parallel).
+
+Example
+-------
+With the default platform (2 GB/s per rank, 20 µs launch latency),
+broadcasting 2 MB costs one payload over one rank's bandwidth plus the
+fixed latency — 1.02 ms — regardless of the rank count:
+
+>>> from repro.pim.transfer import TransferModel
+>>> tm = TransferModel()
+>>> round(tm.broadcast_s(2_000_000, num_ranks=1) * 1e6)
+1020
+>>> round(tm.broadcast_s(2_000_000, num_ranks=4) * 1e6)
+1020
+
+Scatter/gather spreads the aggregate volume across ranks, so more ranks
+means proportionally less time (plus the same fixed latency):
+
+>>> round(tm.scatter_s(4_000_000, num_ranks=1) * 1e6)
+2020
+>>> round(tm.scatter_s(4_000_000, num_ranks=4) * 1e6)
+520
+
+The model counts every byte that crossed the bus (broadcast replicas
+included) for energy accounting:
+
+>>> tm.reset(); tm.broadcast_s(1000, num_ranks=4) > 0
+True
+>>> tm.bytes_moved
+4000
 """
 
 from __future__ import annotations

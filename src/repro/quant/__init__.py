@@ -26,6 +26,7 @@ from repro.quant.schemes import (
     get_scheme,
     list_schemes,
     register_scheme,
+    resolve_scheme,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "get_scheme",
     "list_schemes",
     "register_scheme",
+    "resolve_scheme",
 ]

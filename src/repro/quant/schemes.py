@@ -16,7 +16,13 @@ from typing import Dict, Union
 from repro.quant.floating import FP4, FP8_E4M3, FP16, MinifloatCodec
 from repro.quant.integer import IntegerCodec
 
-__all__ = ["QuantScheme", "get_scheme", "list_schemes", "register_scheme"]
+__all__ = [
+    "QuantScheme",
+    "get_scheme",
+    "list_schemes",
+    "register_scheme",
+    "resolve_scheme",
+]
 
 Codec = Union[IntegerCodec, MinifloatCodec]
 
@@ -94,6 +100,20 @@ def get_scheme(name: str) -> QuantScheme:
             activation_codec=IntegerCodec(bits=ba, symmetric=False),
         )
     raise KeyError(f"Unknown quantization scheme: {name!r}")
+
+
+def resolve_scheme(scheme) -> QuantScheme:
+    """Accept a :class:`QuantScheme` or a scheme name and return the scheme.
+
+    Model-layer configuration (per-layer overrides, sweep specs, CLI
+    arguments) routinely mixes ready-made scheme objects with ``"WxAy"``
+    strings; this normalises either form via :func:`get_scheme`.
+    """
+    if isinstance(scheme, QuantScheme):
+        return scheme
+    if isinstance(scheme, str):
+        return get_scheme(scheme)
+    raise TypeError(f"expected QuantScheme or scheme name, got {type(scheme).__name__}")
 
 
 def _fp_codec(bits: int) -> MinifloatCodec:

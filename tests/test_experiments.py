@@ -1,0 +1,214 @@
+"""Experiment driver: sweeps, tables, IO round-trips and the CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    SweepSpec,
+    ablation_table,
+    energy_table,
+    flatten_row,
+    format_table,
+    latency_table,
+    main,
+    read_csv,
+    read_json,
+    run_sweep,
+    unflatten_row,
+    write_csv,
+    write_json,
+)
+from repro.kernels import COST_KERNELS, gemm_cost
+from repro.experiments.sweep import stats_dict
+from repro.model import get_model_config
+
+FAST = dict(models=("gpt-125m",), schemes=("W1A3",), prefill_lens=(8,), decode_tokens=2)
+
+
+# ---------------------------------------------------------------------------
+# sweep driver
+# ---------------------------------------------------------------------------
+
+def test_empty_grid_produces_empty_sweep():
+    assert run_sweep(SweepSpec(models=(), schemes=("W1A3",))) == []
+    assert run_sweep(SweepSpec(models=("gpt-125m",), schemes=())) == []
+    spec = SweepSpec(models=(), schemes=())
+    assert spec.grid_size == 0
+    # Empty sweeps aggregate to empty tables, not errors.
+    assert latency_table([]) == []
+    assert energy_table([]) == []
+    assert ablation_table([]) == []
+    assert format_table([]) == "(empty table)"
+
+
+def test_sequence_length_one_pure_decode():
+    rows = run_sweep(
+        SweepSpec(models=("gpt-125m",), schemes=("W1A3",), prefill_lens=(1,),
+                  decode_tokens=4)
+    )
+    (row,) = rows
+    assert row["status"] == "ok"
+    assert row["prefill"]["tokens"] == 1
+    assert row["decode"]["tokens"] == 4
+    # A decode step is a single-token pass: per generated token it costs
+    # less than the (already tiny) one-token prefill plus attention growth.
+    assert row["decode"]["latency"]["total_s"] > row["prefill"]["latency"]["total_s"]
+
+
+def test_unsupported_scheme_is_recorded_not_fatal():
+    rows = run_sweep(
+        SweepSpec(models=("gpt-125m",), schemes=("W8A8", "W1A3"),
+                  prefill_lens=(4,), decode_tokens=1)
+    )
+    by_scheme = {r["scheme"]: r for r in rows}
+    assert by_scheme["W8A8"]["status"] == "unsupported"
+    assert "WRAM" in by_scheme["W8A8"]["error"]
+    assert "prefill" not in by_scheme["W8A8"]
+    assert by_scheme["W1A3"]["status"] == "ok"
+    # Tables only aggregate completed rows.
+    assert {t["scheme"] for t in latency_table(rows)} == {"W1A3"}
+
+
+def test_unknown_kernel_rejected_at_spec_time():
+    with pytest.raises(ValueError):
+        SweepSpec(kernels=("fused",))
+
+
+def test_invalid_workload_parameters_rejected_at_spec_time():
+    """Caller errors must fail fast, never masquerade as unsupported rows."""
+    with pytest.raises(ValueError):
+        SweepSpec(batch_sizes=(0,))
+    with pytest.raises(ValueError):
+        SweepSpec(prefill_lens=(0,))
+    with pytest.raises(ValueError):
+        SweepSpec(decode_tokens=-1)
+    with pytest.raises(ValueError):
+        SweepSpec(num_ranks=(0,))
+
+
+def test_sweep_gemm_components_match_direct_kernel_calls():
+    """Acceptance criterion: sweep GEMM components are consistent with
+    direct lut_gemm-path costs on the same shapes."""
+    rows = run_sweep(SweepSpec(num_ranks=(1,), **FAST))
+    (row,) = rows
+    config = get_model_config("gpt-125m")
+    m = row["batch"] * row["prefill_tokens"]
+    for name, (k, n) in config.projection_shapes().items():
+        direct = gemm_cost(row["scheme"], m, k, n)
+        assert row["gemms"][name] == stats_dict(direct), name
+
+
+def test_ablation_ladder_orders_kernels():
+    rows = run_sweep(SweepSpec(kernels=COST_KERNELS, num_ranks=(1,), **FAST))
+    table = ablation_table(rows)
+    assert [t["kernel"] for t in table] == list(COST_KERNELS)
+    naive, swre, lut = (t["total_s"] for t in table)
+    assert naive > swre > lut
+    assert table[0]["speedup"] == pytest.approx(1.0)
+    assert table[-1]["speedup"] > 1.0
+
+
+def test_energy_table_shares_sum_to_one():
+    rows = run_sweep(SweepSpec(**FAST))
+    for entry in energy_table(rows):
+        shares = sum(entry[f"{c}_share"] for c in ("dram", "wram", "compute", "host", "static"))
+        assert shares == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# IO round-trips
+# ---------------------------------------------------------------------------
+
+def test_flatten_unflatten_inverse():
+    row = {"a": {"b": {"c": 1}}, "d": 2.5, "e": "x"}
+    assert unflatten_row(flatten_row(row)) == row
+
+
+def test_json_round_trip(tmp_path):
+    rows = run_sweep(SweepSpec(**FAST))
+    path = str(tmp_path / "sweep.json")
+    payload = {"rows": rows, "tables": {"latency": latency_table(rows)}}
+    write_json(path, payload)
+    assert read_json(path) == payload
+
+
+def test_csv_round_trip(tmp_path):
+    rows = run_sweep(
+        SweepSpec(models=("gpt-125m",), schemes=("W1A3", "W8A8"),
+                  prefill_lens=(4,), decode_tokens=1)
+    )
+    path = str(tmp_path / "sweep.csv")
+    write_csv(path, rows)
+    back = read_csv(path)
+    # Empty cells (e.g. the ok-row's empty error string, and the padding
+    # on unsupported rows) are dropped on read; everything else survives
+    # with numeric types intact.
+    expected = [
+        {k: v for k, v in row.items() if v != ""} for row in rows
+    ]
+    assert back == expected
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_acceptance_invocation(tmp_path, capsys):
+    out = str(tmp_path / "sweep.json")
+    code = main([
+        "--model", "gpt-125m", "--schemes", "W1A3,W4A4",
+        "--seq-len", "8", "--decode-tokens", "2", "--output", out,
+    ])
+    assert code == 0
+    payload = read_json(out)
+    assert {r["scheme"] for r in payload["rows"]} == {"W1A3", "W4A4"}
+    assert all(r["status"] == "ok" for r in payload["rows"])
+    assert payload["tables"]["latency"]
+    captured = capsys.readouterr().out
+    assert "Latency" in captured and "Energy" in captured
+
+
+def test_cli_csv_output(tmp_path):
+    out = str(tmp_path / "sweep.csv")
+    code = main([
+        "--model", "gpt-125m", "--schemes", "W1A3", "--seq-len", "4",
+        "--decode-tokens", "1", "--quiet", "--output", out,
+    ])
+    assert code == 0
+    assert read_csv(out)[0]["status"] == "ok"
+
+
+def test_cli_ablation_flag(tmp_path, capsys):
+    code = main([
+        "--model", "gpt-125m", "--schemes", "W1A3", "--seq-len", "4",
+        "--decode-tokens", "1", "--ablation",
+    ])
+    assert code == 0
+    assert "ablation" in capsys.readouterr().out.lower()
+
+
+def test_cli_rejects_bad_workload_and_flag_conflicts(capsys):
+    assert main(["--model", "gpt-125m", "--batch", "0"]) == 2
+    assert "error" in capsys.readouterr().err
+    assert main(["--model", "gpt-125m", "--kernels", "naive_pim_gemm", "--ablation"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cli_list_and_errors(capsys):
+    assert main(["--list-models"]) == 0
+    assert "gpt-350m" in capsys.readouterr().out
+    assert main(["--list-schemes"]) == 0
+    assert "W1A3" in capsys.readouterr().out
+    assert main(["--model", "gpt-unknown"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_output_matches_json_dump(tmp_path):
+    out = str(tmp_path / "sweep.json")
+    main(["--model", "gpt-125m", "--schemes", "W1A3", "--seq-len", "8",
+          "--decode-tokens", "2", "--quiet", "--output", out])
+    with open(out) as fh:
+        payload = json.load(fh)
+    direct = run_sweep(SweepSpec(**FAST, num_ranks=(4,)))
+    assert payload["rows"] == direct

@@ -1,0 +1,92 @@
+"""Model configuration registry, footprints and the scheme policy."""
+
+import pytest
+
+from repro.model import (
+    ModelConfig,
+    PROJECTION_NAMES,
+    SchemePolicy,
+    get_model_config,
+    list_model_configs,
+    packed_weight_bytes,
+    policy_weight_bytes,
+)
+
+
+def test_registry_contains_paper_models():
+    names = list_model_configs()
+    for expected in ("gpt-125m", "gpt-350m", "gpt-1.3b", "gpt-6.7b"):
+        assert expected in names
+
+
+def test_lookup_is_case_insensitive_and_validates():
+    assert get_model_config("GPT-350M") is get_model_config("gpt-350m")
+    with pytest.raises(KeyError):
+        get_model_config("gpt-13b")
+
+
+def test_gpt_350m_shape():
+    cfg = get_model_config("gpt-350m")
+    assert (cfg.hidden_size, cfg.num_layers, cfg.num_heads) == (1024, 24, 16)
+    assert cfg.head_dim == 64
+    assert cfg.ffn_size == 4096
+    shapes = cfg.projection_shapes()
+    assert set(shapes) == set(PROJECTION_NAMES)
+    assert shapes["qkv"] == (1024, 3072)
+    assert shapes["ffn_down"] == (4096, 1024)
+    # ~350M parameters, within the usual embedding-dependent slack.
+    assert 3.0e8 < cfg.approx_params < 4.5e8
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ModelConfig("bad", hidden_size=100, num_layers=2, num_heads=3)
+    with pytest.raises(ValueError):
+        ModelConfig("bad", hidden_size=0, num_layers=2, num_heads=1)
+
+
+def test_kv_cache_bytes():
+    cfg = ModelConfig("tiny", hidden_size=8, num_layers=3, num_heads=2)
+    # 2 tensors x 3 layers x batch 4 x 5 tokens x 8 hidden x 2 B.
+    assert cfg.kv_cache_bytes(4, 5) == 2 * 3 * 4 * 5 * 8 * 2
+    assert cfg.kv_cache_bytes(0, 5) == 0
+    with pytest.raises(ValueError):
+        cfg.kv_cache_bytes(-1, 5)
+
+
+def test_packed_weight_bytes():
+    assert packed_weight_bytes(16, 4, 1) == 2 * 4   # 8 codes/byte
+    assert packed_weight_bytes(17, 4, 1) == 3 * 4   # ceil per column
+    assert packed_weight_bytes(16, 4, 8) == 16 * 4
+    assert packed_weight_bytes(16, 4, 16) == 32 * 4  # >8-bit fallback
+
+
+def test_weight_footprint_scales_with_bits():
+    cfg = get_model_config("gpt-125m")
+    w1 = cfg.weight_footprint_bytes("W1A3")
+    w4 = cfg.weight_footprint_bytes("W4A4")
+    assert w4 == pytest.approx(4 * w1, rel=0.01)
+
+
+def test_policy_resolution_order():
+    policy = SchemePolicy(
+        "W1A3",
+        layer_overrides={0: "W4A4"},
+        projection_overrides={"ffn_down": "W2A2"},
+    )
+    assert policy.scheme_for(0, "ffn_down").name == "W4A4"  # layer wins
+    assert policy.scheme_for(1, "ffn_down").name == "W2A2"
+    assert policy.scheme_for(1, "qkv").name == "W1A3"
+    assert not policy.is_uniform()
+    assert SchemePolicy("W1A3").is_uniform()
+    assert policy.schemes_used(2, PROJECTION_NAMES) == ["W1A3", "W2A2", "W4A4"]
+
+
+def test_policy_weight_bytes_mixed_precision():
+    cfg = ModelConfig("tiny", hidden_size=16, num_layers=2, num_heads=2)
+    uniform = policy_weight_bytes(cfg, SchemePolicy("W1A3"))
+    assert uniform == cfg.weight_footprint_bytes("W1A3")
+    mixed = policy_weight_bytes(cfg, SchemePolicy("W1A3", layer_overrides={0: "W4A4"}))
+    per_layer_w1 = cfg.weight_footprint_bytes("W1A3") // 2
+    per_layer_w4 = cfg.weight_footprint_bytes("W4A4") // 2
+    assert mixed == per_layer_w1 + per_layer_w4

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Fail CI when a public API in the given packages lacks a docstring.
+
+Walks every ``.py`` file under the given directories and checks, via a
+pure AST pass (nothing is imported), that each module, public function,
+public class and public method carries a docstring.  "Public" means the
+name does not start with an underscore (``__init__`` methods are exempt:
+their contract is documented on the class).
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/model src/repro/experiments
+
+Exits non-zero listing every offender as ``path:line: kind name``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Offender = Tuple[Path, int, str, str]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_node(node: ast.AST, path: Path, qualname: str) -> Iterator[Offender]:
+    """Yield offenders for one class/function node and its public children."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        kind = "class" if isinstance(node, ast.ClassDef) else "function"
+        if ast.get_docstring(node) is None:
+            yield (path, node.lineno, kind, qualname)
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if child.name == "__init__" or not _is_public(child.name):
+                        continue
+                    yield from _check_node(child, path, f"{qualname}.{child.name}")
+
+
+def check_file(path: Path) -> List[Offender]:
+    """All docstring offenders in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    offenders: List[Offender] = []
+    if ast.get_docstring(tree) is None:
+        offenders.append((path, 1, "module", path.stem))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if _is_public(node.name):
+                offenders.extend(_check_node(node, path, node.name))
+    return offenders
+
+
+def main(argv: List[str]) -> int:
+    """Check every package directory given on the command line."""
+    if not argv:
+        print("usage: check_docstrings.py DIR [DIR ...]", file=sys.stderr)
+        return 2
+    offenders: List[Offender] = []
+    checked = 0
+    for root in argv:
+        root_path = Path(root)
+        if not root_path.exists():
+            print(f"error: no such directory: {root}", file=sys.stderr)
+            return 2
+        for path in sorted(root_path.rglob("*.py")):
+            offenders.extend(check_file(path))
+            checked += 1
+    for path, lineno, kind, name in offenders:
+        print(f"{path}:{lineno}: {kind} {name!r} is missing a docstring")
+    if offenders:
+        print(f"\n{len(offenders)} undocumented public API(s) in {checked} file(s)")
+        return 1
+    print(f"OK: every public API in {checked} file(s) is documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
