@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated UPMEM rank counts (64 DPUs per rank)",
     )
     parser.add_argument(
+        "--decode-method", default="closed_form",
+        choices=["closed_form", "loop"], metavar="M",
+        help="decode aggregation: analytical closed_form (default) or the "
+             "reference step-by-step loop",
+    )
+    parser.add_argument(
         "--output", default=None, metavar="PATH",
         help="write results to PATH (.csv writes flattened CSV, anything else JSON)",
     )
@@ -133,6 +139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             prefill_lens=tuple(args.seq_len),
             decode_tokens=args.decode_tokens,
             num_ranks=tuple(args.ranks),
+            decode_method=args.decode_method,
         )
         rows = run_sweep(spec)
     except (KeyError, ValueError) as exc:

@@ -1,9 +1,22 @@
-"""JSON / CSV serialisation for sweep results.
+"""JSON / CSV serialisation for sweep and serving results.
 
 JSON keeps the nested row structure verbatim; CSV flattens each row with
 dotted keys (``prefill.latency.total_s``) so spreadsheet tooling can
-consume it, and :func:`read_csv` re-parses numeric cells so a write/read
-round-trip preserves values.
+consume it, and :func:`read_csv` re-parses cells so a write/read
+round-trip is *type-faithful*:
+
+* Numeric parsing is restricted to known-numeric columns.  A column is
+  numeric unless its leaf name (the last dotted segment) is in
+  ``string_columns`` — by default :data:`DEFAULT_STRING_COLUMNS`, the
+  identifier/message columns this repo emits (``model``, ``scheme``,
+  ``kernel``, ``status``, ``error``, ``phase``, ``scope``).  This keeps
+  an error message like ``"nan"``, ``"inf"`` or ``"1234"`` a string
+  instead of silently becoming a number.
+* ``True`` / ``False`` cells in numeric columns round-trip as booleans,
+  not as the strings ``"True"`` / ``"False"``.
+* Because flattening joins keys with ``.``, input keys containing a dot
+  would collide with the nesting on read — :func:`flatten_row` raises
+  on them instead of silently mangling the row.
 
 >>> from repro.experiments.io import flatten_row, unflatten_row
 >>> flat = flatten_row({"a": {"b": 1.5}, "c": "x"})
@@ -17,9 +30,11 @@ from __future__ import annotations
 
 import csv
 import json
-from typing import Dict, List, Sequence
+import re
+from typing import Dict, FrozenSet, List, Sequence
 
 __all__ = [
+    "DEFAULT_STRING_COLUMNS",
     "flatten_row",
     "unflatten_row",
     "write_json",
@@ -28,11 +43,33 @@ __all__ = [
     "read_csv",
 ]
 
+#: Leaf column names that are never numeric-parsed on CSV read: the
+#: identifier and free-text columns emitted by the sweep and serving
+#: drivers.  Everything else is treated as a numeric/boolean column.
+DEFAULT_STRING_COLUMNS: FrozenSet[str] = frozenset(
+    {"model", "scheme", "kernel", "status", "error", "phase", "scope"}
+)
+
+_INT_RE = re.compile(r"[+-]?\d+")
+
 
 def flatten_row(row: dict, prefix: str = "") -> Dict[str, object]:
-    """Flatten nested dicts into dotted keys (scalars pass through)."""
+    """Flatten nested dicts into dotted keys (scalars pass through).
+
+    Raises
+    ------
+    ValueError
+        If any key contains a ``.``: dotted input keys are
+        indistinguishable from the flattening separator and would be
+        silently re-nested by :func:`unflatten_row`.
+    """
     flat: Dict[str, object] = {}
     for key, value in row.items():
+        if "." in str(key):
+            raise ValueError(
+                f"row key {key!r} contains '.', which collides with the "
+                f"dotted-key flattening; rename the key"
+            )
         name = f"{prefix}{key}"
         if isinstance(value, dict):
             flat.update(flatten_row(value, prefix=f"{name}."))
@@ -86,26 +123,41 @@ def write_csv(path: str, rows: Sequence[dict]) -> None:
             writer.writerow(fr)
 
 
-def _parse_cell(text: str) -> object:
-    """Best-effort cell parse: int, then float, then string."""
-    for cast in (int, float):
-        try:
-            return cast(text)
-        except ValueError:
-            continue
-    return text
+def _parse_cell(text: str, numeric: bool) -> object:
+    """Parse one cell: numeric columns get bool/int/float, others stay text."""
+    if not numeric:
+        return text
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    if _INT_RE.fullmatch(text):
+        return int(text)
+    try:
+        return float(text)
+    except ValueError:
+        return text
 
 
-def read_csv(path: str) -> List[dict]:
+def read_csv(
+    path: str, string_columns: FrozenSet[str] = DEFAULT_STRING_COLUMNS
+) -> List[dict]:
     """Read a CSV written by :func:`write_csv` back into nested rows.
 
-    Numeric cells are re-parsed; empty cells (padding from the union
-    header) are dropped so round-tripped rows match the originals.
+    Cells in known-numeric columns (leaf name not in ``string_columns``)
+    are re-parsed to bool/int/float; string columns pass through
+    verbatim, so message text that *looks* numeric survives the round
+    trip.  Empty cells (padding from the union header) are dropped so
+    round-tripped rows match the originals.
     """
     with open(path, "r", encoding="utf-8", newline="") as fh:
         reader = csv.DictReader(fh)
         rows = []
         for flat in reader:
-            parsed = {k: _parse_cell(v) for k, v in flat.items() if v != ""}
+            parsed = {
+                k: _parse_cell(v, k.split(".")[-1] not in string_columns)
+                for k, v in flat.items()
+                if v != ""
+            }
             rows.append(unflatten_row(parsed))
         return rows

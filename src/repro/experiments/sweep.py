@@ -24,7 +24,7 @@ from typing import Dict, List, Tuple
 
 from repro.kernels.cost import COST_KERNELS
 from repro.model.config import get_model_config
-from repro.model.cost import model_inference_cost
+from repro.model.cost import DECODE_METHODS, model_inference_cost
 from repro.model.policy import SchemePolicy
 from repro.pim.buffer import BufferOverflowError
 from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
@@ -55,6 +55,10 @@ class SweepSpec:
         Generated tokens per grid point (scalar, not an axis).
     num_ranks:
         UPMEM deployment sizes (ranks of 64 DPUs each).
+    decode_method:
+        Decode aggregation strategy (scalar): the default analytical
+        ``"closed_form"`` or the reference step-by-step ``"loop"`` (see
+        :func:`repro.model.cost.decode_phase_stats`).
     """
 
     models: Tuple[str, ...] = ("gpt-350m",)
@@ -64,6 +68,7 @@ class SweepSpec:
     prefill_lens: Tuple[int, ...] = (128,)
     decode_tokens: int = 32
     num_ranks: Tuple[int, ...] = (4,)
+    decode_method: str = "closed_form"
 
     def __post_init__(self) -> None:
         for kernel in self.kernels:
@@ -71,6 +76,11 @@ class SweepSpec:
                 raise ValueError(
                     f"unknown kernel {kernel!r}; expected one of {COST_KERNELS}"
                 )
+        if self.decode_method not in DECODE_METHODS:
+            raise ValueError(
+                f"unknown decode method {self.decode_method!r}; "
+                f"expected one of {DECODE_METHODS}"
+            )
         # Workload parameters are validated here, at spec construction,
         # so that a caller error cannot masquerade as an "unsupported"
         # row (that label is reserved for scheme/hardware mismatches).
@@ -100,16 +110,28 @@ class SweepSpec:
 
 
 def stats_dict(stats: ExecutionStats) -> Dict[str, float]:
-    """Flatten an :class:`ExecutionStats` into a JSON-ready latency dict."""
+    """Flatten an :class:`ExecutionStats` into a JSON-ready latency dict.
+
+    Exports the *full* event-count field set — the paper's
+    instruction-count comparison needs ``n_instructions`` /
+    ``n_lut_entry_pairs`` / ``n_reorders``, and the memory figures need
+    ``dram_activations`` / ``wram_peak_bytes`` — alongside the latency
+    breakdown.
+    """
     d = dict(stats.breakdown())
     out = {f"{name}_s": value for name, value in d.items()}
     out["total_s"] = stats.total_s
     out["device_s"] = stats.device_s
     out["n_lookups"] = stats.n_lookups
     out["n_macs"] = stats.n_macs
+    out["n_reorders"] = stats.n_reorders
+    out["n_instructions"] = stats.n_instructions
+    out["n_lut_entry_pairs"] = stats.n_lut_entry_pairs
     out["n_dpus_used"] = stats.n_dpus_used
     out["dma_bytes"] = stats.dma_bytes
     out["host_bytes"] = stats.host_bytes
+    out["dram_activations"] = stats.dram_activations
+    out["wram_peak_bytes"] = stats.wram_peak_bytes
     return out
 
 
@@ -156,7 +178,7 @@ def run_sweep(spec: SweepSpec) -> List[dict]:
                                 _run_point(
                                     config, model_name, policy, scheme_name,
                                     kernel, batch, prefill, spec.decode_tokens,
-                                    num_ranks, system,
+                                    num_ranks, system, spec.decode_method,
                                 )
                             )
     return rows
@@ -164,7 +186,7 @@ def run_sweep(spec: SweepSpec) -> List[dict]:
 
 def _run_point(
     config, model_name, policy, scheme_name, kernel, batch, prefill,
-    decode_tokens, num_ranks, system,
+    decode_tokens, num_ranks, system, decode_method="closed_form",
 ) -> dict:
     """Cost one grid point, downgrading kernel errors to an error row."""
     row = {
@@ -182,6 +204,7 @@ def _run_point(
         cost = model_inference_cost(
             config, policy, batch=batch, prefill_tokens=prefill,
             decode_tokens=decode_tokens, system=system, kernel=kernel,
+            decode_method=decode_method,
         )
     except (BufferOverflowError, ValueError) as exc:
         row["status"] = "unsupported"

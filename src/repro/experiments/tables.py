@@ -11,14 +11,24 @@ renderer :func:`format_table`:
   Fig. 14-style energy breakdown at model scale),
 * :func:`ablation_table` — kernel-ladder speedups (naive → +OP+LC →
   +RC) whenever a sweep covered several kernels (the optimisation
-  ablation at model scale).
+  ablation at model scale),
+* :func:`serving_table` — TTFT / TPOT / latency percentiles and
+  throughput aggregated from per-request serving rows (the
+  :mod:`repro.serving` simulator's figure table).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["latency_table", "energy_table", "ablation_table", "format_table"]
+__all__ = [
+    "latency_table",
+    "energy_table",
+    "ablation_table",
+    "serving_table",
+    "format_table",
+    "percentile",
+]
 
 #: Row keys identifying one workload point (everything but the kernel).
 _POINT_KEYS = ("model", "scheme", "batch", "prefill_tokens", "decode_tokens", "num_ranks")
@@ -102,6 +112,81 @@ def ablation_table(rows: Sequence[dict]) -> List[dict]:
             entry["total_s"] = g["total_s"]
             entry["speedup"] = baseline / g["total_s"] if g["total_s"] else 0.0
             table.append(entry)
+    return table
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile; 0.0 for an empty sequence.
+
+    ``q`` is in ``[0, 100]``.  Matches numpy's default ("linear")
+    definition without requiring an array round-trip.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    frac = position - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def serving_table(rows: Sequence[dict]) -> List[dict]:
+    """Aggregate per-request serving rows into percentile summary rows.
+
+    ``rows`` are per-request dicts as produced by
+    :func:`repro.serving.metrics.record_rows` (keys ``rank``, ``status``,
+    ``ttft_s``, ``tpot_s``, ``latency_s``, ``queue_s``, ``gen_tokens``,
+    ``finish_s``).  Returns one ``scope="all"`` row followed by one row
+    per rank, each carrying request counts, TTFT/TPOT/latency
+    percentiles over *completed* requests, and output-token throughput
+    over the scope's busy window (trace start to last completion).
+    """
+    if not rows:
+        return []
+    scopes: List[tuple] = [("all", list(rows))]
+    by_rank: Dict[object, List[dict]] = {}
+    for r in rows:
+        by_rank.setdefault(r["rank"], []).append(r)
+    for rank in sorted(by_rank):
+        scopes.append((f"rank{rank}", by_rank[rank]))
+
+    table = []
+    for scope, group in scopes:
+        done = [r for r in group if r["status"] == "completed"]
+        ttfts = [r["ttft_s"] for r in done]
+        # Single-token requests have no post-first-token interval; including
+        # their 0.0 placeholder would bias TPOT low.
+        tpots = [r["tpot_s"] for r in done if r["gen_tokens"] >= 2]
+        latencies = [r["latency_s"] for r in done]
+        output_tokens = sum(r["gen_tokens"] for r in done)
+        window = max((r["finish_s"] for r in done), default=0.0)
+        table.append(
+            {
+                "scope": scope,
+                "requests": len(group),
+                "completed": len(done),
+                "rejected": sum(r["status"] == "rejected" for r in group),
+                "ttft_p50_s": percentile(ttfts, 50),
+                "ttft_p95_s": percentile(ttfts, 95),
+                "ttft_p99_s": percentile(ttfts, 99),
+                "ttft_mean_s": sum(ttfts) / len(ttfts) if ttfts else 0.0,
+                "tpot_mean_s": sum(tpots) / len(tpots) if tpots else 0.0,
+                "tpot_p99_s": percentile(tpots, 99),
+                "latency_p50_s": percentile(latencies, 50),
+                "latency_p95_s": percentile(latencies, 95),
+                "latency_p99_s": percentile(latencies, 99),
+                "queue_mean_s": (
+                    sum(r["queue_s"] for r in done) / len(done) if done else 0.0
+                ),
+                "output_tokens": output_tokens,
+                "output_tokens_per_s": output_tokens / window if window > 0 else 0.0,
+            }
+        )
     return table
 
 

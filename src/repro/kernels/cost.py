@@ -31,12 +31,19 @@ import numpy as np
 
 from repro.kernels.baselines import _check_naive_codecs, _naive_cost_stats
 from repro.kernels.lut import CanonicalLut, ReorderingLut
-from repro.kernels.lut_gemm import _lut_cost_stats
+from repro.kernels.lut_gemm import _code_bytes, _lut_cost_stats
+from repro.pim.dram import DramBank
 from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
 from repro.quant.schemes import QuantScheme, resolve_scheme
 from repro.quant.tensor import QuantizedTensor
 
-__all__ = ["COST_KERNELS", "gemm_cost", "batch_gemm_cost"]
+__all__ = [
+    "COST_KERNELS",
+    "gemm_cost",
+    "batch_gemm_cost",
+    "naive_gemm_cost_sum_n",
+    "naive_gemm_cost_sum_k",
+]
 
 #: Kernel names accepted by :func:`gemm_cost`, ordered as the paper's
 #: optimisation ladder (naive -> +OP+LC -> +RC).
@@ -144,6 +151,224 @@ def gemm_cost(
     # Stats are mutable; hand each caller an independent copy of the
     # cached instance so sweeps cannot corrupt one another.
     return replace(stats)
+
+
+def _floor_sum(n: int, m: int, a: int, b: int) -> int:
+    """Exact ``sum(floor((a * i + b) / m) for i in range(n))``.
+
+    The classic Euclid-like recurrence (here iterative), exact with
+    Python integers in ``O(log)`` steps.  Requires ``n, a, b >= 0`` and
+    ``m > 0``.
+    """
+    ans = 0
+    while True:
+        if a >= m:
+            ans += (n - 1) * n // 2 * (a // m)
+            a %= m
+        if b >= m:
+            ans += n * (b // m)
+            b %= m
+        y_max = a * n + b
+        if y_max < m:
+            return ans
+        n, b, m, a = y_max // m, y_max % m, a, m
+
+
+def _sum_ceil_linear(a: int, b: int, f: int, lo: int, hi: int) -> int:
+    """Exact ``sum(ceil((a * x + b) / f) for x in range(lo, hi + 1))``."""
+    if hi < lo:
+        return 0
+    return _floor_sum(hi - lo + 1, f, a, a * lo + b + f - 1)
+
+
+def _naive_sum_geometry(config: UpmemConfig):
+    """Shared constants for the analytical naive-GEMM range sums."""
+    t = config.timings
+    row_bytes = DramBank(capacity_bytes=t.mram_bytes).row_bytes
+    return t, config.total_dpus, config.num_ranks, t.wram_bytes, row_bytes
+
+
+def _finish_naive_sum(
+    stats: ExecutionStats,
+    config: UpmemConfig,
+    n_terms: int,
+    total_macs: int,
+    total_dma_bytes: int,
+    total_transfers: int,
+    total_activations: int,
+    total_act_bytes: int,
+    total_out_bytes: int,
+) -> ExecutionStats:
+    """Fill a summed naive-cost stats record from aggregate event counts.
+
+    Mirrors :func:`repro.kernels.baselines._naive_cost_stats` term by
+    term: every latency field is the real-number sum of the per-call
+    values (identical event counts, one float evaluation instead of
+    ``n_terms``).
+    """
+    t = config.timings
+    stats.n_macs = total_macs
+    stats.n_instructions = total_macs * t.mac_instructions_int8
+    stats.compute_s = total_macs * t.int8_mac_latency_s
+    stats.dma_bytes = total_dma_bytes
+    stats.dma_s = (
+        total_transfers * t.dma_setup_cycles
+        + total_dma_bytes / t.dram_to_wram_bytes_per_cycle
+    ) * t.cycle_time_s
+    stats.dram_activations = total_activations
+    stats.host_bytes = total_act_bytes * config.num_ranks + total_out_bytes
+    stats.host_s = (
+        2 * n_terms * t.host_latency_s
+        + total_act_bytes / t.host_bandwidth_bytes_per_s
+        + total_out_bytes / (t.host_bandwidth_bytes_per_s * config.num_ranks)
+    )
+    return stats
+
+
+@lru_cache(maxsize=4096)
+def _cached_naive_sum_n(
+    scheme: QuantScheme, m: int, k: int, lo: int, hi: int, config: UpmemConfig
+) -> ExecutionStats:
+    """Memoised ``sum(naive cost over n in [lo, hi])`` (see public wrapper)."""
+    t, n_dpus_total, _, wram_free, row_bytes = _naive_sum_geometry(config)
+    acb = _code_bytes(scheme.activation_bits)
+    ab = t.accumulator_bytes
+    stats = ExecutionStats(kernel="naive_pim_gemm")
+    if hi < lo:
+        return stats
+    stats.n_dpus_used = min(n_dpus_total, hi)
+    if m == 0 or k == 0:
+        return stats
+
+    n_terms = hi - lo + 1
+    sum_n = (lo + hi) * n_terms // 2
+    total_macs = total_dma = total_transfers = total_activations = 0
+
+    def add_group(count: int, cols: int) -> None:
+        nonlocal total_macs, total_dma, total_transfers, total_activations
+        dma_bytes = k * cols + m * k * acb + ab * m * cols
+        if dma_bytes > t.mram_bytes:
+            raise ValueError(
+                f"access of {dma_bytes} B exceeds bank capacity {t.mram_bytes}"
+            )
+        total_macs += count * m * k * cols
+        total_dma += count * dma_bytes
+        total_transfers += count * -(-dma_bytes // wram_free)
+        total_activations += count * -(-dma_bytes // row_bytes)
+
+    # n <= total DPUs: one column per DPU on the critical path.
+    small_hi = min(hi, n_dpus_total)
+    if lo <= small_hi:
+        add_group(small_hi - lo + 1, 1)
+    # n > total DPUs: cols = ceil(n / D) is piecewise constant; walk the
+    # O(range / D) groups, each contributing count * per-term events.
+    wide_lo = max(lo, n_dpus_total + 1)
+    if wide_lo <= hi:
+        q_lo = -(-wide_lo // n_dpus_total)
+        q_hi = -(-hi // n_dpus_total)
+        for q in range(q_lo, q_hi + 1):
+            first = max(wide_lo, (q - 1) * n_dpus_total + 1)
+            last = min(hi, q * n_dpus_total)
+            add_group(last - first + 1, q)
+
+    return _finish_naive_sum(
+        stats, config, n_terms, total_macs, total_dma, total_transfers,
+        total_activations, n_terms * m * k * acb, ab * m * sum_n,
+    )
+
+
+@lru_cache(maxsize=4096)
+def _cached_naive_sum_k(
+    scheme: QuantScheme, m: int, n: int, lo: int, hi: int, config: UpmemConfig
+) -> ExecutionStats:
+    """Memoised ``sum(naive cost over k in [lo, hi])`` (see public wrapper)."""
+    t, n_dpus_total, _, wram_free, row_bytes = _naive_sum_geometry(config)
+    acb = _code_bytes(scheme.activation_bits)
+    ab = t.accumulator_bytes
+    stats = ExecutionStats(kernel="naive_pim_gemm")
+    if hi < lo or n == 0:
+        return stats
+    n_dpus = min(n_dpus_total, n)
+    stats.n_dpus_used = n_dpus
+    if m == 0:
+        return stats
+
+    cols = -(-n // n_dpus)
+    n_terms = hi - lo + 1
+    sum_k = (lo + hi) * n_terms // 2
+    # Per-term dma_bytes is affine in k: slope * k + intercept.
+    slope = cols + m * acb
+    intercept = ab * m * cols
+    if slope * hi + intercept > t.mram_bytes:
+        raise ValueError(
+            f"access of {slope * hi + intercept} B exceeds bank capacity "
+            f"{t.mram_bytes}"
+        )
+    return _finish_naive_sum(
+        stats, config, n_terms,
+        m * cols * sum_k,
+        slope * sum_k + n_terms * intercept,
+        _sum_ceil_linear(slope, intercept, wram_free, lo, hi),
+        _sum_ceil_linear(slope, intercept, row_bytes, lo, hi),
+        m * acb * sum_k,
+        n_terms * m * n * ab,
+    )
+
+
+def _check_sum_range(m: int, fixed: int, lo: int, hi: int) -> None:
+    if m < 0 or fixed < 0:
+        raise ValueError(f"GEMM dimensions must be non-negative, got {(m, fixed)}")
+    if lo < 1:
+        raise ValueError(f"range start must be >= 1, got {lo}")
+
+
+def naive_gemm_cost_sum_n(
+    scheme: SchemeLike,
+    m: int,
+    k: int,
+    n_lo: int,
+    n_hi: int,
+    system: UpmemSystem | None = None,
+) -> ExecutionStats:
+    """Closed-form ``sum(gemm_cost(scheme, m, k, n, kernel="naive_pim_gemm")
+    for n in range(n_lo, n_hi + 1))``.
+
+    The decode phase's attention-score matmul grows its ``N`` dimension
+    by one KV position per generated token; this entry point collapses
+    the whole token loop into one analytical evaluation.  Event counts
+    are *exactly* the loop's sums (ceiling terms via an exact Euclid-like
+    series); the latency floats are the real-number sums, which agree
+    with sequential accumulation to float rounding (see
+    :meth:`ExecutionStats.allclose`).  An empty range (``n_hi < n_lo``)
+    yields empty stats.
+    """
+    _check_sum_range(m, k, n_lo, n_hi)
+    resolved = resolve_scheme(scheme)
+    _check_naive_codecs(resolved.activation_codec, resolved.weight_codec)
+    config = system.config if system is not None else UpmemConfig()
+    return replace(_cached_naive_sum_n(resolved, m, k, n_lo, n_hi, config))
+
+
+def naive_gemm_cost_sum_k(
+    scheme: SchemeLike,
+    m: int,
+    n: int,
+    k_lo: int,
+    k_hi: int,
+    system: UpmemSystem | None = None,
+) -> ExecutionStats:
+    """Closed-form ``sum(gemm_cost(scheme, m, k, n, kernel="naive_pim_gemm")
+    for k in range(k_lo, k_hi + 1))``.
+
+    Counterpart of :func:`naive_gemm_cost_sum_n` for the attention-value
+    matmul, whose *inner* (``K``) dimension grows with the KV length.
+    Same exactness contract: counts exact, latencies to float rounding.
+    """
+    _check_sum_range(m, n, k_lo, k_hi)
+    resolved = resolve_scheme(scheme)
+    _check_naive_codecs(resolved.activation_codec, resolved.weight_codec)
+    config = system.config if system is not None else UpmemConfig()
+    return replace(_cached_naive_sum_k(resolved, m, n, k_lo, k_hi, config))
 
 
 def batch_gemm_cost(

@@ -189,7 +189,10 @@ def _lut_cost_stats(
     stats.n_lut_entry_pairs = clut.num_entries
     if not software_reorder:
         buffer.alloc("reordering_lut", rlut.nbytes(t.reorder_entry_bytes))
-        stats.n_lut_entry_pairs = max(clut.num_entries, rlut.num_entries)
+        # Both LUTs are staged from DRAM entry by entry at L_D each, so
+        # the loads sum (the tables are different sizes and cannot be
+        # fetched pairwise).
+        stats.n_lut_entry_pairs = clut.num_entries + rlut.num_entries
     stats.lut_load_s = stats.n_lut_entry_pairs * t.dram_entry_load_latency_s
 
     stats.n_lookups = m * k * cols

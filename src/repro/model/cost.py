@@ -22,6 +22,14 @@ Because the per-GEMM stats come from the same shared cost functions the
 functional kernels use, a sweep's GEMM components are guaranteed to be
 identical to direct :func:`~repro.kernels.lut_gemm.lut_gemm` calls on
 the same shapes.
+
+The decode phase is aggregated in **closed form** by default: per-step
+weight-GEMM stats are constant, and the attention matmuls' growth with
+the KV length collapses to an exact analytical series (see
+:func:`decode_phase_stats`), so costing long generations no longer
+loops ``decode_tokens x num_layers`` times in Python.  The reference
+loop is retained as ``decode_method="loop"`` and the equivalence is
+tested field by field.
 """
 
 from __future__ import annotations
@@ -29,20 +37,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.kernels.cost import gemm_cost
+from repro.kernels.cost import (
+    gemm_cost,
+    naive_gemm_cost_sum_k,
+    naive_gemm_cost_sum_n,
+)
 from repro.model.config import ModelConfig, packed_weight_bytes
-from repro.model.decoder import attention_gemm_costs
+from repro.model.decoder import ATTENTION_SCHEME, attention_gemm_costs
 from repro.model.policy import SchemePolicy
 from repro.pim.energy import EnergyBreakdown, EnergyModel
 from repro.pim.upmem import ExecutionStats, UpmemSystem
 
 __all__ = [
+    "DECODE_METHODS",
     "PhaseCost",
     "InferenceCost",
     "block_gemm_cost",
+    "decode_attention_stats_sum",
+    "decode_phase_stats",
+    "decode_step_weight_stats",
     "model_inference_cost",
     "policy_weight_bytes",
 ]
+
+#: Decode-phase aggregation strategies accepted by
+#: :func:`model_inference_cost` / :func:`decode_phase_stats`.
+DECODE_METHODS = ("closed_form", "loop")
 
 
 @dataclass
@@ -166,6 +186,113 @@ def block_gemm_cost(
     return total, per_gemm
 
 
+def decode_step_weight_stats(
+    config: ModelConfig,
+    policy: SchemePolicy,
+    batch: int,
+    system: Optional[UpmemSystem] = None,
+    kernel: str = "lut_gemm",
+) -> ExecutionStats:
+    """Weight-GEMM stats of *one* decode step, summed over every layer.
+
+    A decode step pushes one query token per sequence through the stack,
+    so every weight GEMM sees ``M = batch`` rows regardless of how far
+    generation has progressed — these stats are constant across decode
+    steps, which is what makes the closed-form decode aggregation (and
+    the serving simulator's per-iteration costing) possible.
+    """
+    total = ExecutionStats(kernel="decode")
+    shapes = config.projection_shapes()
+    for layer in range(config.num_layers):
+        for name in shapes:
+            k, n = shapes[name]
+            scheme = policy.scheme_for(layer, name)
+            total = total + gemm_cost(scheme, batch, k, n, system=system, kernel=kernel)
+    return total
+
+
+def decode_attention_stats_sum(
+    config: ModelConfig,
+    batch: int,
+    kv_lo: int,
+    kv_hi: int,
+    system: Optional[UpmemSystem] = None,
+) -> ExecutionStats:
+    """Summed attention-matmul stats for one layer over a KV-length range.
+
+    Analytical equivalent of summing
+    :func:`~repro.model.decoder.attention_gemm_costs` with ``seq_q = 1``
+    for every ``kv_len`` in ``[kv_lo, kv_hi]``: the score matmul grows
+    its ``N`` dimension and the value matmul its ``K`` dimension with
+    the KV length, and both collapse to exact series
+    (:func:`~repro.kernels.cost.naive_gemm_cost_sum_n` /
+    :func:`~repro.kernels.cost.naive_gemm_cost_sum_k`).  Attention
+    shapes are identical in every layer, so callers scale the result by
+    ``config.num_layers``.
+    """
+    m = batch * config.num_heads
+    scores = naive_gemm_cost_sum_n(
+        ATTENTION_SCHEME, m, config.head_dim, kv_lo, kv_hi, system=system
+    )
+    values = naive_gemm_cost_sum_k(
+        ATTENTION_SCHEME, m, config.head_dim, kv_lo, kv_hi, system=system
+    )
+    return scores + values
+
+
+def decode_phase_stats(
+    config: ModelConfig,
+    policy: SchemePolicy,
+    batch: int,
+    prefill_tokens: int,
+    decode_tokens: int,
+    system: Optional[UpmemSystem] = None,
+    kernel: str = "lut_gemm",
+    method: str = "closed_form",
+) -> ExecutionStats:
+    """Aggregate decode-phase stats over ``decode_tokens`` generated tokens.
+
+    Two equivalent aggregation strategies are provided:
+
+    * ``"loop"`` — the reference step-by-step walk: for every generated
+      token, cost every layer's block against the KV cache grown to
+      ``prefill_tokens + t + 1`` positions (``decode_tokens x
+      num_layers`` block evaluations).
+    * ``"closed_form"`` — one weight-GEMM pass per layer scaled by
+      ``decode_tokens`` (per-step weight stats are constant) plus an
+      analytical series over the KV range for the two attention matmuls
+      scaled by ``num_layers``.  Event counts match the loop exactly;
+      latency floats agree to summation rounding
+      (:meth:`~repro.pim.upmem.ExecutionStats.allclose`), at a cost
+      independent of ``decode_tokens``.
+    """
+    if method not in DECODE_METHODS:
+        raise ValueError(
+            f"unknown decode method {method!r}; expected one of {DECODE_METHODS}"
+        )
+    stats = ExecutionStats(kernel="decode")
+    if decode_tokens == 0:
+        return stats
+    if method == "loop":
+        for t in range(decode_tokens):
+            kv_len = prefill_tokens + t + 1
+            for layer in range(config.num_layers):
+                block, _ = block_gemm_cost(
+                    config, policy, layer, batch, 1, kv_len,
+                    system=system, kernel=kernel,
+                )
+                stats = stats + block
+        return stats
+    weights = decode_step_weight_stats(
+        config, policy, batch, system=system, kernel=kernel
+    ).scaled(decode_tokens)
+    attention = decode_attention_stats_sum(
+        config, batch, prefill_tokens + 1, prefill_tokens + decode_tokens,
+        system=system,
+    ).scaled(config.num_layers)
+    return stats + weights + attention
+
+
 def model_inference_cost(
     config: ModelConfig,
     policy: SchemePolicy,
@@ -175,13 +302,17 @@ def model_inference_cost(
     system: Optional[UpmemSystem] = None,
     kernel: str = "lut_gemm",
     energy_model: Optional[EnergyModel] = None,
+    decode_method: str = "closed_form",
 ) -> InferenceCost:
     """End-to-end analytical inference cost for one model configuration.
 
     Prefill runs every layer once over the ``prefill_tokens``-long
     prompt; decode then generates ``decode_tokens`` tokens, each a
     single-query pass per layer against a KV cache that has grown to
-    ``prefill_tokens + t`` positions at step ``t``.
+    ``prefill_tokens + t`` positions at step ``t``.  By default the
+    decode phase is aggregated in closed form (cost independent of
+    ``decode_tokens``; see :func:`decode_phase_stats`); pass
+    ``decode_method="loop"`` for the reference step-by-step walk.
 
     Raises whatever the underlying kernels raise for unsupported
     schemes (e.g. :class:`~repro.pim.buffer.BufferOverflowError` when a
@@ -194,6 +325,10 @@ def model_inference_cost(
         raise ValueError("prefill_tokens must be >= 1 (the prompt has at least one token)")
     if decode_tokens < 0:
         raise ValueError("decode_tokens must be >= 0")
+    if decode_method not in DECODE_METHODS:
+        raise ValueError(
+            f"unknown decode method {decode_method!r}; expected one of {DECODE_METHODS}"
+        )
     energy_model = energy_model if energy_model is not None else EnergyModel()
 
     prefill_stats = ExecutionStats(kernel="prefill")
@@ -207,14 +342,10 @@ def model_inference_cost(
         if layer == 0:
             per_projection = per_gemm
 
-    decode_stats = ExecutionStats(kernel="decode")
-    for t in range(decode_tokens):
-        kv_len = prefill_tokens + t + 1
-        for layer in range(config.num_layers):
-            block, _ = block_gemm_cost(
-                config, policy, layer, batch, 1, kv_len, system=system, kernel=kernel
-            )
-            decode_stats = decode_stats + block
+    decode_stats = decode_phase_stats(
+        config, policy, batch, prefill_tokens, decode_tokens,
+        system=system, kernel=kernel, method=decode_method,
+    )
 
     prefill = PhaseCost(
         phase="prefill",

@@ -18,6 +18,7 @@ paper's cost model:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
 
 from repro.pim.buffer import LocalBuffer
@@ -74,6 +75,10 @@ class ExecutionStats:
             "host": self.host_s,
         }
 
+    #: Fields that compose by ``max`` under sequential composition (the
+    #: rest add); see :meth:`__add__` and :meth:`scaled`.
+    MAX_FIELDS = ("wram_peak_bytes", "n_dpus_used")
+
     def __add__(self, other: "ExecutionStats") -> "ExecutionStats":
         """Sequential composition (e.g. summing per-layer stats)."""
         if not isinstance(other, ExecutionStats):
@@ -83,11 +88,60 @@ class ExecutionStats:
             if f.name == "kernel":
                 continue
             a, b = getattr(self, f.name), getattr(other, f.name)
-            if f.name in ("wram_peak_bytes", "n_dpus_used"):
+            if f.name in ExecutionStats.MAX_FIELDS:
                 setattr(merged, f.name, max(a, b))
             else:
                 setattr(merged, f.name, a + b)
         return merged
+
+    def scaled(self, n: int) -> "ExecutionStats":
+        """``n`` sequential repetitions of this invocation.
+
+        Equivalent (up to float-summation rounding in the latency terms;
+        the count fields are exact) to adding ``n`` copies of ``self``
+        with :meth:`__add__`: additive fields are multiplied by ``n``
+        while the max-composed fields (``wram_peak_bytes``,
+        ``n_dpus_used``) are unchanged.  ``n == 0`` yields empty stats.
+        """
+        if n < 0:
+            raise ValueError(f"repetition count must be non-negative, got {n}")
+        out = ExecutionStats(kernel=self.kernel)
+        if n == 0:
+            return out
+        for f in fields(ExecutionStats):
+            if f.name == "kernel":
+                continue
+            value = getattr(self, f.name)
+            if f.name in ExecutionStats.MAX_FIELDS:
+                setattr(out, f.name, value)
+            else:
+                setattr(out, f.name, value * n)
+        return out
+
+    def allclose(self, other: "ExecutionStats", rel_tol: float = 1e-9) -> bool:
+        """Field-by-field equality: counts exact, latencies to ``rel_tol``.
+
+        This is the equivalence contract between the step-by-step decode
+        loop and its closed-form aggregation in :mod:`repro.model.cost`:
+        integer event counts must match *exactly*, while the float
+        latency terms may differ by floating-point summation rounding
+        (summing ``N`` identical doubles sequentially and multiplying
+        once round differently in the last ulps).
+        """
+        if not isinstance(other, ExecutionStats):
+            raise TypeError(
+                f"allclose expects an ExecutionStats, got {type(other).__name__}"
+            )
+        for f in fields(ExecutionStats):
+            if f.name == "kernel":
+                continue
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if isinstance(a, int) and isinstance(b, int):
+                if a != b:
+                    return False
+            elif not math.isclose(a, b, rel_tol=rel_tol, abs_tol=0.0):
+                return False
+        return True
 
 
 @dataclass(frozen=True)

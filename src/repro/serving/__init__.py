@@ -1,0 +1,52 @@
+"""Request-level serving on the DRAM-PIM substrate (the traffic layer).
+
+Bridges the per-request inference costs in :mod:`repro.model` to
+datacenter-style serving: a stream of requests (arrival time, prompt
+length, generation length) is scheduled onto rank-sharded model
+replicas with continuous batching and KV-cache admission, producing
+TTFT / TPOT / latency-percentile / throughput / energy metrics.
+
+* :mod:`repro.serving.trace` — :class:`Request`, seeded synthetic
+  traces (Poisson arrivals, log-normal lengths),
+* :mod:`repro.serving.scheduler` — the continuous-batching simulator
+  (:func:`simulate_trace`),
+* :mod:`repro.serving.metrics` — per-request rows and percentile
+  summary tables,
+* :mod:`repro.serving.cli` — the ``python -m repro.serving`` command
+  line.
+"""
+
+from repro.serving.trace import (
+    Request,
+    TraceSpec,
+    generate_trace,
+    rows_to_trace,
+    trace_rows,
+)
+from repro.serving.scheduler import (
+    RankStats,
+    RequestRecord,
+    ServingConfig,
+    ServingResult,
+    simulate_trace,
+)
+from repro.serving.metrics import metrics_table, record_rows, summary
+from repro.serving.cli import build_parser, main
+
+__all__ = [
+    "Request",
+    "TraceSpec",
+    "generate_trace",
+    "trace_rows",
+    "rows_to_trace",
+    "ServingConfig",
+    "RequestRecord",
+    "RankStats",
+    "ServingResult",
+    "simulate_trace",
+    "record_rows",
+    "metrics_table",
+    "summary",
+    "build_parser",
+    "main",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.serving`` dispatches to :func:`repro.serving.cli.main`."""
+
+import sys
+
+from repro.serving.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

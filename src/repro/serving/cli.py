@@ -1,0 +1,152 @@
+"""Command-line serving simulator: ``python -m repro.serving``.
+
+Generates a seeded synthetic trace (Poisson arrivals, log-normal
+lengths), serves it on a sharded UPMEM deployment with continuous
+batching, prints the TTFT/TPOT/latency/throughput table, and writes the
+full results to JSON or CSV.
+
+Examples
+--------
+Serve a 256-request trace on four gpt-1.3b replicas::
+
+    python -m repro.serving --model gpt-1.3b --requests 256 \\
+        --arrival-rate 4 --output /tmp/serving.json
+
+Stress KV-cache admission with long generations on one replica::
+
+    python -m repro.serving --model gpt-350m --ranks 1 --max-batch 8 \\
+        --gen-mean 256 --gen-max 1024 --output /tmp/serving.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.io import write_csv, write_json
+from repro.experiments.tables import format_table
+from repro.kernels.cost import COST_KERNELS
+from repro.serving.metrics import metrics_table, record_rows, summary
+from repro.serving.scheduler import ServingConfig, simulate_trace
+from repro.serving.trace import TraceSpec, generate_trace, trace_rows
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro.serving``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description=(
+            "Continuous-batching serving simulation over the LUT-GEMM / "
+            "DRAM-PIM stack."
+        ),
+    )
+    deploy = parser.add_argument_group("deployment")
+    deploy.add_argument("--model", default="gpt-350m", metavar="NAME",
+                        help="model config name (default gpt-350m)")
+    deploy.add_argument("--scheme", default="W1A3", metavar="WxAy",
+                        help="weight-projection quantization scheme")
+    deploy.add_argument("--kernel", default="lut_gemm", metavar="K",
+                        help=f"weight-GEMM kernel ({', '.join(COST_KERNELS)})")
+    deploy.add_argument("--ranks", type=int, default=4, metavar="N",
+                        help="model replicas (one UPMEM rank each)")
+    deploy.add_argument("--dpus-per-rank", type=int, default=64, metavar="N",
+                        help="DPUs per replica")
+    deploy.add_argument("--max-batch", type=int, default=16, metavar="N",
+                        help="concurrent decoding requests per replica")
+    trace = parser.add_argument_group("trace")
+    trace.add_argument("--requests", type=int, default=64, metavar="N",
+                       help="number of requests in the synthetic trace")
+    trace.add_argument("--arrival-rate", type=float, default=4.0, metavar="R",
+                       help="mean arrivals per second (Poisson)")
+    trace.add_argument("--prompt-mean", type=float, default=128.0, metavar="T",
+                       help="mean prompt length in tokens")
+    trace.add_argument("--prompt-max", type=int, default=1024, metavar="T",
+                       help="prompt length clip")
+    trace.add_argument("--gen-mean", type=float, default=64.0, metavar="T",
+                       help="mean generation length in tokens")
+    trace.add_argument("--gen-max", type=int, default=512, metavar="T",
+                       help="generation length clip")
+    trace.add_argument("--sigma", type=float, default=0.6, metavar="S",
+                       help="log-normal shape for both length distributions")
+    trace.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="trace RNG seed")
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write results to PATH (.csv writes the metrics table, anything "
+             "else the full JSON payload)",
+    )
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the stdout tables")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        spec = TraceSpec(
+            num_requests=args.requests,
+            arrival_rate_per_s=args.arrival_rate,
+            prompt_mean=args.prompt_mean,
+            prompt_sigma=args.sigma,
+            prompt_max=args.prompt_max,
+            gen_mean=args.gen_mean,
+            gen_sigma=args.sigma,
+            gen_max=args.gen_max,
+            seed=args.seed,
+        )
+        config = ServingConfig(
+            model=args.model,
+            scheme=args.scheme.upper(),
+            kernel=args.kernel,
+            num_ranks=args.ranks,
+            dpus_per_rank=args.dpus_per_rank,
+            max_batch=args.max_batch,
+        )
+        requests = generate_trace(spec)
+        result = simulate_trace(requests, config)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    table = metrics_table(result)
+    if not args.quiet:
+        print(
+            f"# serving: {len(requests)} request(s) on {config.num_ranks} "
+            f"rank replica(s) of {config.model} [{config.scheme}, "
+            f"{config.kernel}], makespan {result.makespan_s:.3f} s"
+        )
+        if table:
+            print("\n## Serving metrics (TTFT / TPOT / latency / throughput)\n")
+            print(format_table(table))
+
+    if args.output:
+        if args.output.endswith(".csv"):
+            write_csv(args.output, table)
+        else:
+            write_json(
+                args.output,
+                {
+                    "trace_spec": {
+                        "num_requests": spec.num_requests,
+                        "arrival_rate_per_s": spec.arrival_rate_per_s,
+                        "prompt_mean": spec.prompt_mean,
+                        "prompt_sigma": spec.prompt_sigma,
+                        "prompt_max": spec.prompt_max,
+                        "gen_mean": spec.gen_mean,
+                        "gen_sigma": spec.gen_sigma,
+                        "gen_max": spec.gen_max,
+                        "seed": spec.seed,
+                    },
+                    "summary": summary(result),
+                    "metrics": table,
+                    "requests": record_rows(result),
+                    "trace": trace_rows(requests),
+                },
+            )
+        if not args.quiet:
+            print(f"\nwrote {args.output}")
+    return 0

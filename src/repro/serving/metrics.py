@@ -1,0 +1,117 @@
+"""Serving metrics: per-request rows and aggregate summary tables.
+
+Converts a :class:`~repro.serving.scheduler.ServingResult` into the row
+dicts the :mod:`repro.experiments.io` writers consume:
+
+* :func:`record_rows` — one row per request (timestamps plus the
+  derived TTFT / TPOT / latency values),
+* :func:`metrics_table` — percentile summary rows (one ``all`` scope
+  plus one per rank) enriched with energy, utilization and throughput
+  from the per-rank counters,
+* :func:`summary` — a single flat dict for JSON payloads and quick
+  assertions.
+
+Metrics glossary (all times in seconds):
+
+============  ========================================================
+TTFT          time to first token: request arrival to the first
+              generated token (queueing + prefill + first decode step)
+TPOT          time per output token after the first
+latency       arrival to last generated token
+queue         arrival to admission (KV-cache / batch-slot wait)
+makespan      trace start until the last rank goes idle
+tokens/s      generated tokens over the scope's busy window
+============  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.tables import serving_table
+from repro.serving.scheduler import ServingResult
+
+__all__ = ["record_rows", "metrics_table", "summary"]
+
+
+def record_rows(result: ServingResult) -> List[dict]:
+    """One JSON/CSV-ready row per request in ``result``."""
+    rows = []
+    for rec in result.records:
+        rows.append(
+            {
+                "req_id": rec.req_id,
+                "rank": rec.rank,
+                "status": rec.status,
+                "arrival_s": rec.arrival_s,
+                "prompt_tokens": rec.prompt_tokens,
+                "gen_tokens": rec.gen_tokens,
+                "admit_s": rec.admit_s if rec.admit_s is not None else 0.0,
+                "first_token_s": (
+                    rec.first_token_s if rec.first_token_s is not None else 0.0
+                ),
+                "finish_s": rec.finish_s if rec.finish_s is not None else 0.0,
+                "queue_s": rec.queue_s,
+                "ttft_s": rec.ttft_s,
+                "tpot_s": rec.tpot_s,
+                "latency_s": rec.latency_s,
+            }
+        )
+    return rows
+
+
+def metrics_table(result: ServingResult) -> List[dict]:
+    """Percentile summary rows enriched with energy and utilization.
+
+    The ``all`` row carries deployment-level totals (makespan, energy,
+    energy per token); each ``rank<i>`` row carries that replica's
+    counters, so imbalance across the round-robin shards is visible.
+    """
+    table = serving_table(record_rows(result))
+    by_scope = {row["scope"]: row for row in table}
+    if "all" in by_scope:
+        row = by_scope["all"]
+        output_tokens = result.output_tokens
+        row["makespan_s"] = result.makespan_s
+        row["prefill_tokens"] = result.prefill_tokens
+        row["energy_j"] = result.total_energy_j
+        row["energy_mj_per_token"] = (
+            1e3 * result.total_energy_j / output_tokens if output_tokens else 0.0
+        )
+        row["utilization"] = (
+            sum(rs.busy_s for rs in result.rank_stats)
+            / (len(result.rank_stats) * result.makespan_s)
+            if result.makespan_s > 0
+            else 0.0
+        )
+    for rs in result.rank_stats:
+        row = by_scope.get(f"rank{rs.rank}")
+        if row is None:
+            continue
+        row["makespan_s"] = rs.finish_s
+        row["prefill_tokens"] = rs.prefill_tokens
+        row["energy_j"] = rs.energy_j
+        row["energy_mj_per_token"] = (
+            1e3 * rs.energy_j / rs.output_tokens if rs.output_tokens else 0.0
+        )
+        row["utilization"] = rs.utilization
+    return table
+
+
+def summary(result: ServingResult) -> dict:
+    """Flat deployment-level summary (the ``all`` row plus config keys)."""
+    table = metrics_table(result)
+    row = dict(table[0]) if table else {"scope": "all"}
+    row.update(
+        {
+            "model": result.config.model,
+            "scheme": result.config.scheme,
+            "kernel": result.config.kernel,
+            "num_ranks": result.config.num_ranks,
+            "dpus_per_rank": result.config.dpus_per_rank,
+            "max_batch": result.config.max_batch,
+            "kv_capacity_bytes": result.kv_capacity_bytes,
+            "weight_bytes": result.weight_bytes,
+        }
+    )
+    return row

@@ -1,0 +1,408 @@
+"""Request-level serving simulator with continuous batching.
+
+The simulator schedules a trace of inference requests onto the UPMEM
+substrate the way a production serving stack would:
+
+* **Per-rank sharding** — the deployment is ``num_ranks`` model
+  replicas, each a full rank of ``dpus_per_rank`` DPUs holding its own
+  copy of the packed weights; requests are assigned round-robin in
+  arrival order and served entirely by their rank.
+* **Continuous batching** — each rank runs an iteration loop: newly
+  arrived requests are admitted between iterations, prefilled, and then
+  join the running decode batch, so short requests drain without
+  waiting for long ones (no static batch barrier).  One decode
+  iteration advances *every* running request by one token: the four
+  weight GEMMs run once, batched over the ``B`` running sequences
+  (``M = B`` rows), while each request pays its own two attention
+  matmuls at its current KV length.
+* **KV-cache admission** — a request reserves
+  ``kv_cache_bytes(1, prompt + gen)`` of the rank's MRAM at admission
+  (what remains of ``dpus_per_rank x mram_bytes`` after the packed
+  weights); when the reservation does not fit, admission stalls until
+  running requests complete and release their cache.  A request that
+  can never fit is rejected up front.
+
+Iteration latency and energy come from the same closed-form cost spine
+as :func:`repro.model.cost.model_inference_cost` — per-batch weight-step
+stats from :func:`~repro.model.cost.decode_step_weight_stats` and
+per-KV attention stats via :func:`~repro.model.decoder.attention_gemm_costs`
+— memoised per batch size / prompt length / KV length, so thousand-request
+traces simulate in seconds.  Serving energy attributes each GEMM with
+its own DPU count (a per-component sum, marginally different from the
+phase-level attribution in :class:`~repro.pim.energy.EnergyModel`
+applied to merged stats).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels.cost import COST_KERNELS
+from repro.model.config import ModelConfig, get_model_config
+from repro.model.cost import (
+    decode_step_weight_stats,
+    model_inference_cost,
+    policy_weight_bytes,
+)
+from repro.model.decoder import attention_gemm_costs
+from repro.model.policy import SchemePolicy
+from repro.pim.energy import EnergyModel
+from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
+from repro.serving.trace import Request
+
+__all__ = ["ServingConfig", "RequestRecord", "RankStats", "ServingResult", "simulate_trace"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Deployment and scheduling knobs for one serving simulation.
+
+    Attributes
+    ----------
+    model / scheme / kernel:
+        Workload: model-config name, ``WxAy`` scheme for the weight
+        projections, and the weight-GEMM kernel.
+    num_ranks:
+        Model replicas (one UPMEM rank each); requests shard across them.
+    dpus_per_rank:
+        DPUs (and MRAM banks) per replica.
+    max_batch:
+        Concurrent decoding requests per rank.
+    """
+
+    model: str = "gpt-350m"
+    scheme: str = "W1A3"
+    kernel: str = "lut_gemm"
+    num_ranks: int = 4
+    dpus_per_rank: int = 64
+    max_batch: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kernel not in COST_KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {COST_KERNELS}"
+            )
+        for name in ("num_ranks", "dpus_per_rank", "max_batch"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one request: timestamps plus the derived serving metrics.
+
+    Timestamps are absolute simulation seconds; ``None`` until the event
+    happens (rejected requests never admit).
+    """
+
+    req_id: int
+    rank: int
+    arrival_s: float
+    prompt_tokens: int
+    gen_tokens: int
+    status: str = "completed"
+    admit_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+
+    @property
+    def queue_s(self) -> float:
+        """Arrival-to-admission wait."""
+        return (self.admit_s - self.arrival_s) if self.admit_s is not None else 0.0
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token: arrival to the first generated token."""
+        return (
+            (self.first_token_s - self.arrival_s)
+            if self.first_token_s is not None
+            else 0.0
+        )
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency (arrival to last token)."""
+        return (self.finish_s - self.arrival_s) if self.finish_s is not None else 0.0
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token after the first (0 for 1-token requests)."""
+        if self.finish_s is None or self.first_token_s is None or self.gen_tokens < 2:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / (self.gen_tokens - 1)
+
+
+@dataclass
+class RankStats:
+    """Per-replica aggregate counters for one simulation."""
+
+    rank: int
+    finish_s: float = 0.0
+    busy_s: float = 0.0
+    energy_j: float = 0.0
+    prefill_tokens: int = 0
+    output_tokens: int = 0
+    decode_iterations: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Busy share of the rank's active window."""
+        return self.busy_s / self.finish_s if self.finish_s > 0 else 0.0
+
+
+@dataclass
+class ServingResult:
+    """Everything a simulation produced, ready for metric aggregation."""
+
+    config: ServingConfig
+    records: List[RequestRecord]
+    rank_stats: List[RankStats]
+    kv_capacity_bytes: int
+    weight_bytes: int
+
+    @property
+    def makespan_s(self) -> float:
+        """Time from trace start until the last rank goes idle."""
+        return max((rs.finish_s for rs in self.rank_stats), default=0.0)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Energy across every replica, in joules."""
+        return sum(rs.energy_j for rs in self.rank_stats)
+
+    @property
+    def output_tokens(self) -> int:
+        """Tokens generated across every replica."""
+        return sum(rs.output_tokens for rs in self.rank_stats)
+
+    @property
+    def prefill_tokens(self) -> int:
+        """Prompt tokens prefilled across every replica."""
+        return sum(rs.prefill_tokens for rs in self.rank_stats)
+
+
+class _CostCache:
+    """Memoised (latency, energy) scalars for the three iteration costs.
+
+    One instance per simulation: distinct prompt lengths, batch sizes
+    and KV lengths each cost one analytical evaluation, after which an
+    engine iteration is a handful of dict lookups.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        policy: SchemePolicy,
+        system: UpmemSystem,
+        kernel: str,
+        energy_model: EnergyModel,
+    ) -> None:
+        self.model = model
+        self.policy = policy
+        self.system = system
+        self.kernel = kernel
+        self.energy = energy_model
+        self._prefill: Dict[int, Tuple[float, float]] = {}
+        self._weight_step: Dict[int, Tuple[float, float]] = {}
+        self._attn_step: Dict[int, Tuple[float, float]] = {}
+
+    def _scalars(self, stats: ExecutionStats) -> Tuple[float, float]:
+        return stats.total_s, self.energy.total_j(stats)
+
+    def prefill(self, prompt_tokens: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of prefilling one ``prompt_tokens`` prompt."""
+        hit = self._prefill.get(prompt_tokens)
+        if hit is None:
+            cost = model_inference_cost(
+                self.model, self.policy, batch=1, prefill_tokens=prompt_tokens,
+                decode_tokens=0, system=self.system, kernel=self.kernel,
+            )
+            hit = (cost.prefill.latency_s, cost.prefill.energy.total_j)
+            self._prefill[prompt_tokens] = hit
+        return hit
+
+    def weight_step(self, batch: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one decode step's weight GEMMs at ``batch``."""
+        hit = self._weight_step.get(batch)
+        if hit is None:
+            stats = decode_step_weight_stats(
+                self.model, self.policy, batch, system=self.system, kernel=self.kernel
+            )
+            hit = self._scalars(stats)
+            self._weight_step[batch] = hit
+        return hit
+
+    def attn_step(self, kv_len: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one request's attention at ``kv_len``.
+
+        Both attention matmuls for a single sequence, scaled to all
+        layers (attention shapes are layer-independent).
+        """
+        hit = self._attn_step.get(kv_len)
+        if hit is None:
+            per_layer = ExecutionStats()
+            for stats in attention_gemm_costs(
+                self.model.num_heads, self.model.head_dim, 1, 1, kv_len, self.system
+            ).values():
+                per_layer = per_layer + stats
+            hit = self._scalars(per_layer.scaled(self.model.num_layers))
+            self._attn_step[kv_len] = hit
+        return hit
+
+
+@dataclass
+class _RequestState:
+    """Mutable per-request scheduling state inside a rank engine."""
+
+    request: Request
+    record: RequestRecord
+    kv_bytes: int
+    tokens_out: int = 0
+
+
+def _simulate_rank(
+    rank: int,
+    requests: Sequence[Request],
+    cache: _CostCache,
+    config: ServingConfig,
+    kv_capacity: int,
+) -> Tuple[List[RequestRecord], RankStats]:
+    """Run one rank's continuous-batching engine over its request shard."""
+    model = cache.model
+    stats = RankStats(rank=rank)
+    waiting = deque(
+        _RequestState(
+            request=r,
+            record=RequestRecord(
+                req_id=r.req_id, rank=rank, arrival_s=r.arrival_s,
+                prompt_tokens=r.prompt_tokens, gen_tokens=r.gen_tokens,
+            ),
+            kv_bytes=model.kv_cache_bytes(1, r.prompt_tokens + r.gen_tokens),
+        )
+        for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+    )
+    running: List[_RequestState] = []
+    records: List[RequestRecord] = []
+    clock = 0.0
+    kv_used = 0
+
+    while waiting or running:
+        # --- admission: arrived requests, bounded by batch and KV space ---
+        admitted: List[_RequestState] = []
+        while waiting and waiting[0].request.arrival_s <= clock:
+            state = waiting[0]
+            if state.kv_bytes > kv_capacity:
+                state.record.status = "rejected"
+                records.append(state.record)
+                waiting.popleft()
+                continue
+            if len(running) + len(admitted) >= config.max_batch:
+                break
+            if kv_used + state.kv_bytes > kv_capacity:
+                break
+            kv_used += state.kv_bytes
+            state.record.admit_s = clock
+            admitted.append(state)
+            waiting.popleft()
+
+        # --- prefill the admissions, then they join the decode batch ---
+        for state in admitted:
+            latency, energy = cache.prefill(state.request.prompt_tokens)
+            clock += latency
+            stats.busy_s += latency
+            stats.energy_j += energy
+            stats.prefill_tokens += state.request.prompt_tokens
+            running.append(state)
+
+        if running:
+            # --- one decode iteration: every running request advances ---
+            latency, energy = cache.weight_step(len(running))
+            for state in running:
+                kv_len = state.request.prompt_tokens + state.tokens_out + 1
+                attn_latency, attn_energy = cache.attn_step(kv_len)
+                latency += attn_latency
+                energy += attn_energy
+            clock += latency
+            stats.busy_s += latency
+            stats.energy_j += energy
+            stats.decode_iterations += 1
+            still_running: List[_RequestState] = []
+            for state in running:
+                state.tokens_out += 1
+                stats.output_tokens += 1
+                if state.tokens_out == 1:
+                    state.record.first_token_s = clock
+                if state.tokens_out >= state.request.gen_tokens:
+                    state.record.finish_s = clock
+                    kv_used -= state.kv_bytes
+                    records.append(state.record)
+                else:
+                    still_running.append(state)
+            running = still_running
+        elif waiting:
+            # Idle: jump to the next arrival.
+            clock = max(clock, waiting[0].request.arrival_s)
+
+    stats.finish_s = clock
+    return records, stats
+
+
+def simulate_trace(
+    trace: Sequence[Request],
+    config: Optional[ServingConfig] = None,
+    policy: Optional[SchemePolicy] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> ServingResult:
+    """Simulate serving ``trace`` under ``config``; returns the full result.
+
+    Requests are assigned to rank replicas round-robin in arrival order;
+    each replica then runs its continuous-batching engine independently
+    (replicas share nothing but the host).  ``policy`` defaults to the
+    uniform ``config.scheme`` policy.
+
+    Raises
+    ------
+    ValueError
+        If the packed weights of the model/policy do not leave any MRAM
+        for KV cache on a replica.
+    """
+    config = config if config is not None else ServingConfig()
+    model = get_model_config(config.model)
+    policy = policy if policy is not None else SchemePolicy(config.scheme)
+    energy_model = energy_model if energy_model is not None else EnergyModel()
+    system = UpmemSystem(
+        UpmemConfig(num_ranks=1, dpus_per_rank=config.dpus_per_rank)
+    )
+    weight_bytes = policy_weight_bytes(model, policy)
+    mram_total = config.dpus_per_rank * system.timings.mram_bytes
+    kv_capacity = mram_total - weight_bytes
+    if kv_capacity <= 0:
+        raise ValueError(
+            f"packed weights ({weight_bytes} B) exceed a replica's MRAM "
+            f"({mram_total} B); use more DPUs per rank or a narrower scheme"
+        )
+    cache = _CostCache(model, policy, system, config.kernel, energy_model)
+
+    shards: List[List[Request]] = [[] for _ in range(config.num_ranks)]
+    ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+    for i, request in enumerate(ordered):
+        shards[i % config.num_ranks].append(request)
+
+    records: List[RequestRecord] = []
+    rank_stats: List[RankStats] = []
+    for rank, shard in enumerate(shards):
+        shard_records, shard_stats = _simulate_rank(
+            rank, shard, cache, config, kv_capacity
+        )
+        records.extend(shard_records)
+        rank_stats.append(shard_stats)
+    records.sort(key=lambda rec: rec.req_id)
+    return ServingResult(
+        config=config,
+        records=records,
+        rank_stats=rank_stats,
+        kv_capacity_bytes=kv_capacity,
+        weight_bytes=weight_bytes,
+    )

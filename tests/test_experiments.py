@@ -75,6 +75,18 @@ def test_unknown_kernel_rejected_at_spec_time():
         SweepSpec(kernels=("fused",))
 
 
+def test_decode_method_is_selectable_and_validated():
+    with pytest.raises(ValueError):
+        SweepSpec(decode_method="magic")
+    closed = run_sweep(SweepSpec(num_ranks=(1,), **FAST))
+    loop = run_sweep(SweepSpec(num_ranks=(1,), decode_method="loop", **FAST))
+    # Same grid, same event counts; latencies agree to float rounding.
+    assert closed[0]["decode"]["latency"]["n_macs"] == loop[0]["decode"]["latency"]["n_macs"]
+    assert closed[0]["decode"]["latency"]["total_s"] == pytest.approx(
+        loop[0]["decode"]["latency"]["total_s"], rel=1e-9
+    )
+
+
 def test_invalid_workload_parameters_rejected_at_spec_time():
     """Caller errors must fail fast, never masquerade as unsupported rows."""
     with pytest.raises(ValueError):
@@ -85,6 +97,22 @@ def test_invalid_workload_parameters_rejected_at_spec_time():
         SweepSpec(decode_tokens=-1)
     with pytest.raises(ValueError):
         SweepSpec(num_ranks=(0,))
+
+
+def test_stats_dict_exports_full_event_count_set():
+    """The paper's instruction-count / memory comparisons need every
+    ExecutionStats counter exported, not just the latency terms."""
+    stats = gemm_cost("W1A3", 4, 32, 16)
+    d = stats_dict(stats)
+    for key in ("n_instructions", "n_lut_entry_pairs", "n_reorders",
+                "dram_activations", "wram_peak_bytes"):
+        assert d[key] == getattr(stats, key), key
+    assert d["n_instructions"] > 0
+    assert d["n_lut_entry_pairs"] > 0
+    assert d["wram_peak_bytes"] > 0
+    rows = run_sweep(SweepSpec(num_ranks=(1,), **FAST))
+    exported = rows[0]["gemms"]["qkv"]
+    assert "n_instructions" in exported and "dram_activations" in exported
 
 
 def test_sweep_gemm_components_match_direct_kernel_calls():
@@ -123,6 +151,46 @@ def test_energy_table_shares_sum_to_one():
 def test_flatten_unflatten_inverse():
     row = {"a": {"b": {"c": 1}}, "d": 2.5, "e": "x"}
     assert unflatten_row(flatten_row(row)) == row
+
+
+def test_flatten_rejects_dotted_keys():
+    """Dotted input keys would collide with the flattening separator and
+    silently re-nest on read — they must be rejected, not mangled."""
+    with pytest.raises(ValueError, match=r"contains '\.'"):
+        flatten_row({"a.b": 1})
+    with pytest.raises(ValueError, match=r"contains '\.'"):
+        flatten_row({"outer": {"x.y": 2}})
+
+
+def test_csv_round_trip_is_type_faithful(tmp_path):
+    """Booleans stay booleans; message text that looks numeric stays text."""
+    rows = [
+        {
+            "model": "gpt-125m",
+            "status": "unsupported",
+            "error": "1234",          # digit-only message must stay a string
+            "supported": False,
+            "nested": {"flag": True, "count": 7, "ratio": 0.5},
+        },
+        {
+            "model": "nan",            # string column: never parsed
+            "status": "ok",
+            "error": "inf",
+            "supported": True,
+            "nested": {"flag": False, "count": -3, "ratio": 2e-5},
+        },
+    ]
+    path = str(tmp_path / "typed.csv")
+    write_csv(path, rows)
+    assert read_csv(path) == rows
+
+
+def test_csv_unknown_text_column_survives(tmp_path):
+    """A non-declared column holding free text must not be coerced."""
+    rows = [{"model": "m", "note_text": "not-a-number", "value": 3}]
+    path = str(tmp_path / "text.csv")
+    write_csv(path, rows)
+    assert read_csv(path) == rows
 
 
 def test_json_round_trip(tmp_path):

@@ -89,8 +89,9 @@ class TestStatsDecomposition:
         assert stats.n_lookups == 4 * 64 * cols
         assert stats.compute_s == pytest.approx(stats.n_lookups * t.local_lookup_latency_s)
 
-        # L_D term: canonical (4x4 entries) vs reordering (256x4) LUT pairs.
-        assert stats.n_lut_entry_pairs == max(16, 256 * 4)
+        # L_D term: canonical (4x4 entries) plus reordering (256x4) LUT
+        # entries — both tables are staged from DRAM, so the loads sum.
+        assert stats.n_lut_entry_pairs == 16 + 256 * 4
         assert stats.lut_load_s == pytest.approx(
             stats.n_lut_entry_pairs * t.dram_entry_load_latency_s
         )

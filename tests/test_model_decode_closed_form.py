@@ -1,0 +1,194 @@
+"""Closed-form decode aggregation must equal the step-by-step loop.
+
+The contract (see ``ExecutionStats.allclose``): every integer event
+count matches the reference loop *exactly*; float latency terms agree to
+floating-point summation rounding.  Also covers the analytical naive
+GEMM range sums the closed form is built on, and monotonicity of the
+attention cost in the KV length.
+"""
+
+import pytest
+
+from repro.kernels.cost import (
+    gemm_cost,
+    naive_gemm_cost_sum_k,
+    naive_gemm_cost_sum_n,
+)
+from repro.kernels.cost import _floor_sum, _sum_ceil_linear
+from repro.model import SchemePolicy, get_model_config
+from repro.model.cost import (
+    decode_attention_stats_sum,
+    decode_phase_stats,
+    model_inference_cost,
+)
+from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
+
+INT_FIELDS = (
+    "n_lut_entry_pairs", "n_lookups", "n_macs", "n_reorders", "n_instructions",
+    "dma_bytes", "host_bytes", "dram_activations", "wram_peak_bytes",
+    "n_dpus_used",
+)
+
+
+def assert_stats_equivalent(loop: ExecutionStats, closed: ExecutionStats):
+    for name in INT_FIELDS:
+        assert getattr(closed, name) == getattr(loop, name), name
+    assert loop.allclose(closed)
+
+
+# ---------------------------------------------------------------------------
+# exact series helpers
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n,m,a,b", [(1, 1, 0, 0), (5, 3, 2, 1), (17, 7, 11, 5),
+                                     (100, 64, 33, 900), (3, 65536, 97, 12)])
+def test_floor_sum_matches_brute_force(n, m, a, b):
+    assert _floor_sum(n, m, a, b) == sum((a * i + b) // m for i in range(n))
+
+
+@pytest.mark.parametrize("a,b,f,lo,hi", [(33, 128, 65536, 9, 2000),
+                                         (1, 0, 64, 1, 300), (5, 7, 8192, 10, 10)])
+def test_sum_ceil_linear_matches_brute_force(a, b, f, lo, hi):
+    expected = sum(-(-(a * x + b) // f) for x in range(lo, hi + 1))
+    assert _sum_ceil_linear(a, b, f, lo, hi) == expected
+
+
+# ---------------------------------------------------------------------------
+# analytical naive-GEMM range sums
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("ranks", [1, 4])
+@pytest.mark.parametrize("lo,hi", [(1, 5), (50, 80), (250, 270), (64, 64)])
+def test_naive_sum_over_n_matches_per_call_loop(ranks, lo, hi):
+    system = UpmemSystem(UpmemConfig(num_ranks=ranks))
+    loop = ExecutionStats(kernel="naive_pim_gemm")
+    for n in range(lo, hi + 1):
+        loop = loop + gemm_cost("W8A8", 12, 64, n, system=system,
+                                kernel="naive_pim_gemm")
+    closed = naive_gemm_cost_sum_n("W8A8", 12, 64, lo, hi, system=system)
+    assert_stats_equivalent(loop, closed)
+
+
+@pytest.mark.parametrize("ranks", [1, 2])
+@pytest.mark.parametrize("lo,hi", [(1, 5), (33, 200), (129, 131)])
+def test_naive_sum_over_k_matches_per_call_loop(ranks, lo, hi):
+    system = UpmemSystem(UpmemConfig(num_ranks=ranks))
+    loop = ExecutionStats(kernel="naive_pim_gemm")
+    for k in range(lo, hi + 1):
+        loop = loop + gemm_cost("W8A8", 12, k, 64, system=system,
+                                kernel="naive_pim_gemm")
+    closed = naive_gemm_cost_sum_k("W8A8", 12, 64, lo, hi, system=system)
+    assert_stats_equivalent(loop, closed)
+
+
+def test_naive_sums_empty_range_and_validation():
+    empty = naive_gemm_cost_sum_n("W8A8", 4, 8, 10, 9)
+    assert empty.total_s == 0.0 and empty.n_macs == 0
+    with pytest.raises(ValueError):
+        naive_gemm_cost_sum_n("W8A8", 4, 8, 0, 5)  # range must start >= 1
+    with pytest.raises(ValueError):
+        naive_gemm_cost_sum_k("W16A16", 4, 8, 1, 5)  # not a naive-able scheme
+
+
+def test_naive_sum_returns_independent_copies():
+    first = naive_gemm_cost_sum_n("W8A8", 4, 8, 1, 4)
+    first.compute_s = -1.0
+    assert naive_gemm_cost_sum_n("W8A8", 4, 8, 1, 4).compute_s >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# decode-phase equivalence: models x kernels x kv lengths
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("model", ["gpt-125m", "gpt-350m"])
+@pytest.mark.parametrize("kernel",
+                         ["lut_gemm", "software_reorder_gemm", "naive_pim_gemm"])
+@pytest.mark.parametrize("prefill,decode", [(1, 4), (8, 6), (60, 10), (128, 3)])
+def test_closed_form_decode_equals_loop(model, kernel, prefill, decode):
+    config = get_model_config(model)
+    scheme = "W4A4" if kernel == "naive_pim_gemm" else "W1A3"
+    policy = SchemePolicy(scheme)
+    system = UpmemSystem(UpmemConfig(num_ranks=1))
+    loop = decode_phase_stats(config, policy, 1, prefill, decode,
+                              system=system, kernel=kernel, method="loop")
+    closed = decode_phase_stats(config, policy, 1, prefill, decode,
+                                system=system, kernel=kernel,
+                                method="closed_form")
+    assert_stats_equivalent(loop, closed)
+
+
+def test_closed_form_decode_with_batch_ranks_and_mixed_policy():
+    config = get_model_config("gpt-125m")
+    policy = SchemePolicy("W1A3", layer_overrides={0: "W4A4"},
+                          projection_overrides={"ffn_down": "W2A2"})
+    system = UpmemSystem(UpmemConfig(num_ranks=4))
+    loop = decode_phase_stats(config, policy, 3, 100, 8,
+                              system=system, method="loop")
+    closed = decode_phase_stats(config, policy, 3, 100, 8,
+                                system=system, method="closed_form")
+    assert_stats_equivalent(loop, closed)
+
+
+def test_zero_decode_tokens_equivalent_and_empty():
+    config = get_model_config("gpt-125m")
+    policy = SchemePolicy("W1A3")
+    for method in ("loop", "closed_form"):
+        stats = decode_phase_stats(config, policy, 1, 16, 0, method=method)
+        assert stats.total_s == 0.0
+        assert stats.kernel == "decode"
+
+
+def test_unknown_decode_method_rejected():
+    config = get_model_config("gpt-125m")
+    policy = SchemePolicy("W1A3")
+    with pytest.raises(ValueError):
+        decode_phase_stats(config, policy, 1, 8, 2, method="magic")
+    with pytest.raises(ValueError):
+        model_inference_cost(config, policy, decode_method="magic")
+
+
+def test_model_inference_cost_defaults_to_closed_form():
+    config = get_model_config("gpt-125m")
+    policy = SchemePolicy("W1A3")
+    default = model_inference_cost(config, policy, prefill_tokens=8,
+                                   decode_tokens=5)
+    loop = model_inference_cost(config, policy, prefill_tokens=8,
+                                decode_tokens=5, decode_method="loop")
+    assert_stats_equivalent(loop.decode.stats, default.decode.stats)
+    # Prefill is untouched by the decode refactor.
+    assert default.prefill.stats == loop.prefill.stats
+
+
+# ---------------------------------------------------------------------------
+# monotonicity and scaling
+# ---------------------------------------------------------------------------
+
+def test_attention_cost_monotone_in_kv_len():
+    config = get_model_config("gpt-125m")
+    previous = None
+    for kv in (1, 8, 63, 64, 65, 128, 400, 1000):
+        stats = decode_attention_stats_sum(config, 1, kv, kv)
+        if previous is not None:
+            assert stats.total_s >= previous, f"kv={kv}"
+        previous = stats.total_s
+
+
+def test_attention_sum_over_range_is_sum_of_singletons():
+    config = get_model_config("gpt-125m")
+    singles = ExecutionStats()
+    for kv in range(17, 23):
+        singles = singles + decode_attention_stats_sum(config, 1, kv, kv)
+    ranged = decode_attention_stats_sum(config, 1, 17, 22)
+    assert ranged.allclose(singles)
+
+
+def test_scaled_matches_repeated_addition_counts():
+    stats = gemm_cost("W1A3", 4, 32, 16)
+    total = ExecutionStats()
+    for _ in range(7):
+        total = total + stats
+    scaled = stats.scaled(7)
+    assert_stats_equivalent(total, scaled)
+    assert stats.scaled(0) == ExecutionStats(kernel=stats.kernel)
+    with pytest.raises(ValueError):
+        stats.scaled(-1)

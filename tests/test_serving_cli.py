@@ -1,0 +1,65 @@
+"""``python -m repro.serving`` CLI: smoke, outputs and round-trips."""
+
+import json
+
+from repro.experiments.io import read_csv, read_json
+from repro.serving import main
+
+
+def test_cli_smoke_prints_metrics(capsys):
+    code = main(["--model", "gpt-125m", "--requests", "8", "--ranks", "2",
+                 "--prompt-mean", "16", "--gen-mean", "8", "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Serving metrics" in out
+    assert "ttft_p99_s" in out and "output_tokens_per_s" in out
+
+
+def test_cli_json_output_round_trips(tmp_path):
+    out = str(tmp_path / "serving.json")
+    code = main(["--model", "gpt-125m", "--requests", "6", "--ranks", "1",
+                 "--prompt-mean", "16", "--gen-mean", "4", "--quiet",
+                 "--output", out])
+    assert code == 0
+    payload = read_json(out)
+    assert payload["summary"]["completed"] == 6
+    assert payload["summary"]["ttft_p99_s"] > 0
+    assert payload["summary"]["output_tokens_per_s"] > 0
+    assert len(payload["requests"]) == 6
+    assert len(payload["trace"]) == 6
+    # JSON is byte-faithful by construction.
+    with open(out) as fh:
+        assert json.load(fh) == payload
+
+
+def test_cli_csv_output_round_trips(tmp_path):
+    out = str(tmp_path / "serving.csv")
+    code = main(["--model", "gpt-125m", "--requests", "6", "--ranks", "2",
+                 "--prompt-mean", "16", "--gen-mean", "4", "--quiet",
+                 "--output", out])
+    assert code == 0
+    rows = read_csv(out)
+    assert [r["scope"] for r in rows] == ["all", "rank0", "rank1"]
+    for row in rows:
+        assert isinstance(row["ttft_p99_s"], float)
+        assert isinstance(row["tpot_mean_s"], float)
+        assert isinstance(row["output_tokens"], int)
+        assert row["output_tokens_per_s"] > 0
+
+
+def test_cli_rejects_bad_arguments(capsys):
+    assert main(["--model", "gpt-unknown", "--quiet"]) == 2
+    assert "error" in capsys.readouterr().err
+    assert main(["--model", "gpt-125m", "--kernel", "fused", "--quiet"]) == 2
+    assert "error" in capsys.readouterr().err
+    assert main(["--model", "gpt-125m", "--arrival-rate", "0", "--quiet"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_zero_requests(tmp_path):
+    out = str(tmp_path / "empty.json")
+    assert main(["--model", "gpt-125m", "--requests", "0", "--quiet",
+                 "--output", out]) == 0
+    payload = read_json(out)
+    assert payload["requests"] == []
+    assert payload["metrics"] == []

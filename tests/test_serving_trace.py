@@ -1,0 +1,60 @@
+"""Synthetic trace generator: determinism, distributions, round-trips."""
+
+import pytest
+
+from repro.serving import Request, TraceSpec, generate_trace, rows_to_trace, trace_rows
+
+
+def test_trace_is_deterministic_per_seed():
+    spec = TraceSpec(num_requests=32, seed=3)
+    assert generate_trace(spec) == generate_trace(spec)
+    other = generate_trace(TraceSpec(num_requests=32, seed=4))
+    assert generate_trace(spec) != other
+
+
+def test_arrivals_sorted_and_positive():
+    trace = generate_trace(TraceSpec(num_requests=64, arrival_rate_per_s=10.0))
+    arrivals = [r.arrival_s for r in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(a > 0 for a in arrivals)
+    # Mean inter-arrival should be in the right ballpark for a Poisson
+    # process at rate 10 (loose 3x bound; the draw is seeded).
+    mean_gap = arrivals[-1] / len(arrivals)
+    assert 0.1 / 3 < mean_gap < 0.1 * 3
+
+
+def test_lengths_clipped_and_positive():
+    spec = TraceSpec(num_requests=200, prompt_mean=100, prompt_max=120,
+                     gen_mean=50, gen_max=60, seed=9)
+    trace = generate_trace(spec)
+    assert all(1 <= r.prompt_tokens <= 120 for r in trace)
+    assert all(1 <= r.gen_tokens <= 60 for r in trace)
+    # The clip binds for a lognormal with mean 100 and cap 120.
+    assert any(r.prompt_tokens == 120 for r in trace)
+
+
+def test_length_means_track_spec():
+    spec = TraceSpec(num_requests=2000, prompt_mean=128, prompt_max=10**6,
+                     gen_mean=64, gen_max=10**6, seed=0)
+    trace = generate_trace(spec)
+    mean_prompt = sum(r.prompt_tokens for r in trace) / len(trace)
+    assert mean_prompt == pytest.approx(128, rel=0.15)
+
+
+def test_empty_trace_and_validation():
+    assert generate_trace(TraceSpec(num_requests=0)) == []
+    with pytest.raises(ValueError):
+        TraceSpec(arrival_rate_per_s=0.0)
+    with pytest.raises(ValueError):
+        TraceSpec(prompt_mean=0)
+    with pytest.raises(ValueError):
+        TraceSpec(gen_max=0)
+    with pytest.raises(ValueError):
+        Request(req_id=0, arrival_s=-1.0, prompt_tokens=4, gen_tokens=1)
+    with pytest.raises(ValueError):
+        Request(req_id=0, arrival_s=0.0, prompt_tokens=0, gen_tokens=1)
+
+
+def test_trace_rows_round_trip():
+    trace = generate_trace(TraceSpec(num_requests=10, seed=5))
+    assert rows_to_trace(trace_rows(trace)) == trace

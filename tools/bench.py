@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Performance benchmark: sweep and trace-simulation wall-clock.
+
+Seeds the repo's performance trajectory: runs (a) a model-level sweep,
+(b) the decode cost in both aggregation modes (loop vs closed form) and
+(c) a 1000-request serving trace on gpt-1.3b, then writes the
+wall-clock numbers and simulated throughput to ``BENCH_serving.json``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py [--output BENCH_serving.json] [--check]
+
+``--check`` exits non-zero if the trace simulation misses its
+wall-clock budget (10 s for 1000 requests), so CI catches performance
+regressions on the serving path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+TRACE_REQUESTS = 1000
+TRACE_BUDGET_S = 10.0
+DECODE_TOKENS = 256
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_sweep() -> dict:
+    from repro.experiments.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(models=("gpt-1.3b",), schemes=("W1A3",),
+                     prefill_lens=(128,), decode_tokens=DECODE_TOKENS)
+    rows, wall = _timed(lambda: run_sweep(spec))
+    return {
+        "grid_points": spec.grid_size,
+        "decode_tokens": DECODE_TOKENS,
+        "wall_s": wall,
+        "ok_rows": sum(r["status"] == "ok" for r in rows),
+    }
+
+
+def bench_decode_methods() -> dict:
+    from repro.model import SchemePolicy, get_model_config
+    from repro.model.cost import decode_phase_stats
+
+    config = get_model_config("gpt-1.3b")
+    policy = SchemePolicy("W1A3")
+    loop_stats, loop_wall = _timed(
+        lambda: decode_phase_stats(config, policy, 1, 128, DECODE_TOKENS,
+                                   method="loop")
+    )
+    closed_stats, closed_wall = _timed(
+        lambda: decode_phase_stats(config, policy, 1, 128, DECODE_TOKENS,
+                                   method="closed_form")
+    )
+    assert loop_stats.allclose(closed_stats)
+    return {
+        "decode_tokens": DECODE_TOKENS,
+        "loop_wall_s": loop_wall,
+        "closed_form_wall_s": closed_wall,
+        "speedup": loop_wall / closed_wall if closed_wall > 0 else 0.0,
+    }
+
+
+def bench_serving() -> dict:
+    from repro.serving import ServingConfig, TraceSpec, generate_trace, simulate_trace
+
+    trace = generate_trace(TraceSpec(num_requests=TRACE_REQUESTS, seed=0))
+    config = ServingConfig(model="gpt-1.3b")
+    result, wall = _timed(lambda: simulate_trace(trace, config))
+    completed = sum(r.status == "completed" for r in result.records)
+    return {
+        "requests": TRACE_REQUESTS,
+        "completed": completed,
+        "wall_s": wall,
+        "wall_budget_s": TRACE_BUDGET_S,
+        "simulated_makespan_s": result.makespan_s,
+        "simulated_output_tokens": result.output_tokens,
+        "simulated_tokens_per_s": (
+            result.output_tokens / result.makespan_s if result.makespan_s else 0.0
+        ),
+        "requests_per_wall_s": TRACE_REQUESTS / wall if wall else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_serving.json", metavar="PATH")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if the trace simulation misses its budget")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "sweep": bench_sweep(),
+        "decode": bench_decode_methods(),
+        "serving": bench_serving(),
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    serving = payload["serving"]
+    decode = payload["decode"]
+    print(f"sweep: {payload['sweep']['wall_s']:.3f} s "
+          f"({payload['sweep']['grid_points']} point(s))")
+    print(f"decode closed-form: {decode['closed_form_wall_s']*1e3:.1f} ms "
+          f"vs loop {decode['loop_wall_s']*1e3:.1f} ms "
+          f"({decode['speedup']:.1f}x)")
+    print(f"serving: {serving['requests']} requests in {serving['wall_s']:.3f} s "
+          f"wall ({serving['simulated_tokens_per_s']:.1f} simulated tok/s)")
+    print(f"wrote {args.output}")
+
+    if args.check and serving["wall_s"] > TRACE_BUDGET_S:
+        print(
+            f"FAIL: {serving['requests']}-request trace took "
+            f"{serving['wall_s']:.2f} s (> {TRACE_BUDGET_S} s budget)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
