@@ -7,8 +7,9 @@ per-figure tables:
 
 * :mod:`repro.experiments.sweep` — :class:`SweepSpec` grids and the
   :func:`run_sweep` driver (unsupported points are recorded, not fatal),
-* :mod:`repro.experiments.tables` — latency, energy-breakdown and
-  kernel-ablation tables plus a monospace renderer,
+* :mod:`repro.experiments.tables` — latency, energy-breakdown,
+  kernel-ablation, serving and scheduling-policy-comparison tables
+  plus a monospace renderer,
 * :mod:`repro.experiments.io` — JSON and round-trippable CSV output,
 * :mod:`repro.experiments.cli` — the ``python -m repro.experiments``
   command line.
@@ -28,6 +29,8 @@ from repro.experiments.tables import (
     energy_table,
     format_table,
     latency_table,
+    policy_table,
+    serving_table,
 )
 from repro.experiments.cli import build_parser, main
 
@@ -39,6 +42,8 @@ __all__ = [
     "latency_table",
     "energy_table",
     "ablation_table",
+    "serving_table",
+    "policy_table",
     "format_table",
     "flatten_row",
     "unflatten_row",

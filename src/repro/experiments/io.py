@@ -9,7 +9,8 @@ round-trip is *type-faithful*:
   numeric unless its leaf name (the last dotted segment) is in
   ``string_columns`` — by default :data:`DEFAULT_STRING_COLUMNS`, the
   identifier/message columns this repo emits (``model``, ``scheme``,
-  ``kernel``, ``status``, ``error``, ``phase``, ``scope``).  This keeps
+  ``kernel``, ``status``, ``error``, ``phase``, ``scope``, ``policy``,
+  ``scenario``).  This keeps
   an error message like ``"nan"``, ``"inf"`` or ``"1234"`` a string
   instead of silently becoming a number.
 * ``True`` / ``False`` cells in numeric columns round-trip as booleans,
@@ -47,7 +48,8 @@ __all__ = [
 #: identifier and free-text columns emitted by the sweep and serving
 #: drivers.  Everything else is treated as a numeric/boolean column.
 DEFAULT_STRING_COLUMNS: FrozenSet[str] = frozenset(
-    {"model", "scheme", "kernel", "status", "error", "phase", "scope"}
+    {"model", "scheme", "kernel", "status", "error", "phase", "scope",
+     "policy", "scenario"}
 )
 
 _INT_RE = re.compile(r"[+-]?\d+")

@@ -12,9 +12,13 @@ renderer :func:`format_table`:
 * :func:`ablation_table` — kernel-ladder speedups (naive → +OP+LC →
   +RC) whenever a sweep covered several kernels (the optimisation
   ablation at model scale),
-* :func:`serving_table` — TTFT / TPOT / latency percentiles and
-  throughput aggregated from per-request serving rows (the
-  :mod:`repro.serving` simulator's figure table).
+* :func:`serving_table` — TTFT / TPOT / latency percentiles,
+  SLO attainment, preemption counters and throughput aggregated from
+  per-request serving rows (the :mod:`repro.serving` simulator's
+  figure table),
+* :func:`policy_table` — one row per scheduling-policy run over the
+  same trace, with each policy's p95 TTFT normalised against the FCFS
+  baseline (the latency/throughput-frontier comparison).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ __all__ = [
     "energy_table",
     "ablation_table",
     "serving_table",
+    "policy_table",
     "format_table",
     "percentile",
 ]
@@ -141,10 +146,13 @@ def serving_table(rows: Sequence[dict]) -> List[dict]:
     ``rows`` are per-request dicts as produced by
     :func:`repro.serving.metrics.record_rows` (keys ``rank``, ``status``,
     ``ttft_s``, ``tpot_s``, ``latency_s``, ``queue_s``, ``gen_tokens``,
-    ``finish_s``).  Returns one ``scope="all"`` row followed by one row
-    per rank, each carrying request counts, TTFT/TPOT/latency
-    percentiles over *completed* requests, and output-token throughput
-    over the scope's busy window (trace start to last completion).
+    ``finish_s``, plus optional ``slo_ttft_s`` / ``preemptions``).
+    Returns one ``scope="all"`` row followed by one row per rank, each
+    carrying request counts, TTFT/TPOT/latency percentiles over
+    *completed* requests, SLO attainment over SLO-carrying requests
+    (rejected requests count as missed; 1.0 when no request carries an
+    SLO), preemption counts, and output-token throughput over the
+    scope's busy window (trace start to last completion).
     """
     if not rows:
         return []
@@ -165,12 +173,22 @@ def serving_table(rows: Sequence[dict]) -> List[dict]:
         latencies = [r["latency_s"] for r in done]
         output_tokens = sum(r["gen_tokens"] for r in done)
         window = max((r["finish_s"] for r in done), default=0.0)
+        slo_rows = [r for r in group if r.get("slo_ttft_s", 0.0) > 0]
+        slo_met = sum(
+            r["status"] == "completed" and r["ttft_s"] <= r["slo_ttft_s"]
+            for r in slo_rows
+        )
         table.append(
             {
                 "scope": scope,
                 "requests": len(group),
                 "completed": len(done),
                 "rejected": sum(r["status"] == "rejected" for r in group),
+                "preemptions": sum(r.get("preemptions", 0) for r in group),
+                "slo_requests": len(slo_rows),
+                "slo_attainment": (
+                    slo_met / len(slo_rows) if slo_rows else 1.0
+                ),
                 "ttft_p50_s": percentile(ttfts, 50),
                 "ttft_p95_s": percentile(ttfts, 95),
                 "ttft_p99_s": percentile(ttfts, 99),
@@ -187,6 +205,46 @@ def serving_table(rows: Sequence[dict]) -> List[dict]:
                 "output_tokens_per_s": output_tokens / window if window > 0 else 0.0,
             }
         )
+    return table
+
+
+#: Summary keys copied verbatim into :func:`policy_table` rows.
+_POLICY_KEYS = (
+    "requests", "completed", "rejected", "preemptions",
+    "slo_requests", "slo_attainment",
+    "ttft_p50_s", "ttft_p95_s", "ttft_p99_s",
+    "tpot_mean_s", "latency_p95_s",
+    "output_tokens_per_s", "energy_mj_per_token", "makespan_s",
+)
+
+
+def policy_table(summary_rows: Sequence[dict]) -> List[dict]:
+    """Compare scheduling-policy runs over the same trace.
+
+    ``summary_rows`` are flat serving summaries (one per policy run, as
+    produced by :func:`repro.serving.metrics.summary`, each carrying a
+    ``policy`` key and optionally a ``scenario`` key).  Returns one row
+    per run with the headline latency/SLO/throughput metrics, plus
+    ``ttft_p95_vs_fcfs`` — the FCFS baseline's p95 TTFT divided by this
+    policy's (> 1 means the policy improves tail TTFT) — whenever an
+    ``fcfs`` run with the same scenario is present.
+    """
+    fcfs_p95: Dict[object, float] = {}
+    for row in summary_rows:
+        if row.get("policy") == "fcfs":
+            fcfs_p95[row.get("scenario")] = row.get("ttft_p95_s", 0.0)
+    table = []
+    for row in summary_rows:
+        entry = {"policy": row.get("policy", "")}
+        if "scenario" in row:
+            entry["scenario"] = row["scenario"]
+        for key in _POLICY_KEYS:
+            if key in row:
+                entry[key] = row[key]
+        baseline = fcfs_p95.get(row.get("scenario"), 0.0)
+        p95 = row.get("ttft_p95_s", 0.0)
+        entry["ttft_p95_vs_fcfs"] = baseline / p95 if baseline and p95 else 0.0
+        table.append(entry)
     return table
 
 

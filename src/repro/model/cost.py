@@ -58,6 +58,7 @@ __all__ = [
     "decode_step_weight_stats",
     "model_inference_cost",
     "policy_weight_bytes",
+    "prefill_chunk_stats",
 ]
 
 #: Decode-phase aggregation strategies accepted by
@@ -208,6 +209,41 @@ def decode_step_weight_stats(
             k, n = shapes[name]
             scheme = policy.scheme_for(layer, name)
             total = total + gemm_cost(scheme, batch, k, n, system=system, kernel=kernel)
+    return total
+
+
+def prefill_chunk_stats(
+    config: ModelConfig,
+    policy: SchemePolicy,
+    batch: int,
+    done_tokens: int,
+    chunk_tokens: int,
+    system: Optional[UpmemSystem] = None,
+    kernel: str = "lut_gemm",
+) -> ExecutionStats:
+    """Stats of prefilling one ``chunk_tokens``-long slice of a prompt.
+
+    The chunk's query tokens follow ``done_tokens`` already-cached
+    prefix tokens: every weight GEMM sees ``M = batch * chunk_tokens``
+    rows and the attention matmuls run at ``kv_len = done_tokens +
+    chunk_tokens``, summed over every layer.  A single chunk covering
+    the whole prompt (``done_tokens = 0``) is exactly the prefill phase
+    of :func:`model_inference_cost`.  Chunking attends each query only
+    to the prefix cached so far — slightly *less* attention work than
+    the one-shot prefill, which costs every query against the full
+    prompt length.
+    """
+    if chunk_tokens < 1:
+        raise ValueError(f"chunk_tokens must be >= 1, got {chunk_tokens}")
+    if done_tokens < 0:
+        raise ValueError(f"done_tokens must be >= 0, got {done_tokens}")
+    total = ExecutionStats(kernel="prefill_chunk")
+    for layer in range(config.num_layers):
+        block, _ = block_gemm_cost(
+            config, policy, layer, batch, chunk_tokens,
+            done_tokens + chunk_tokens, system=system, kernel=kernel,
+        )
+        total = total + block
     return total
 
 

@@ -7,21 +7,35 @@ replicas with continuous batching and KV-cache admission, producing
 TTFT / TPOT / latency-percentile / throughput / energy metrics.
 
 * :mod:`repro.serving.trace` — :class:`Request`, seeded synthetic
-  traces (Poisson arrivals, log-normal lengths),
+  traces (steady Poisson, bursty MMPP and diurnal arrival scenarios;
+  log-normal lengths; priority tiers with TTFT SLOs),
+* :mod:`repro.serving.policy` — pluggable scheduling policies
+  (``fcfs`` / ``sjf`` / ``priority`` / ``chunked_prefill``) with
+  KV-pressure preemption,
 * :mod:`repro.serving.scheduler` — the continuous-batching simulator
   (:func:`simulate_trace`),
 * :mod:`repro.serving.metrics` — per-request rows and percentile
-  summary tables,
+  summary tables (incl. SLO attainment and preemption counters),
 * :mod:`repro.serving.cli` — the ``python -m repro.serving`` command
   line.
 """
 
 from repro.serving.trace import (
     Request,
+    SCENARIOS,
     TraceSpec,
     generate_trace,
     rows_to_trace,
     trace_rows,
+)
+from repro.serving.policy import (
+    POLICIES,
+    ChunkedPrefillPolicy,
+    FcfsPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    SjfPolicy,
+    get_policy,
 )
 from repro.serving.scheduler import (
     RankStats,
@@ -35,10 +49,18 @@ from repro.serving.cli import build_parser, main
 
 __all__ = [
     "Request",
+    "SCENARIOS",
     "TraceSpec",
     "generate_trace",
     "trace_rows",
     "rows_to_trace",
+    "POLICIES",
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "SjfPolicy",
+    "PriorityPolicy",
+    "ChunkedPrefillPolicy",
+    "get_policy",
     "ServingConfig",
     "RequestRecord",
     "RankStats",

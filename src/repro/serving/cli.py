@@ -1,9 +1,11 @@
 """Command-line serving simulator: ``python -m repro.serving``.
 
-Generates a seeded synthetic trace (Poisson arrivals, log-normal
-lengths), serves it on a sharded UPMEM deployment with continuous
-batching, prints the TTFT/TPOT/latency/throughput table, and writes the
-full results to JSON or CSV.
+Generates a seeded synthetic trace (steady Poisson, bursty MMPP or
+diurnal arrivals; log-normal lengths; optional priority tiers with
+TTFT SLOs), serves it on a sharded UPMEM deployment with continuous
+batching under the selected scheduling policy, prints the
+TTFT/TPOT/latency/throughput table, and writes the full results to
+JSON or CSV.
 
 Examples
 --------
@@ -12,24 +14,30 @@ Serve a 256-request trace on four gpt-1.3b replicas::
     python -m repro.serving --model gpt-1.3b --requests 256 \\
         --arrival-rate 4 --output /tmp/serving.json
 
-Stress KV-cache admission with long generations on one replica::
+Chunked prefills on a bursty long-prompt trace::
 
-    python -m repro.serving --model gpt-350m --ranks 1 --max-batch 8 \\
-        --gen-mean 256 --gen-max 1024 --output /tmp/serving.csv
+    python -m repro.serving --policy chunked_prefill --scenario bursty \\
+        --prompt-mean 512 --chunk-tokens 32
+
+Compare every scheduling policy on the same trace::
+
+    python -m repro.serving --compare --scenario bursty --requests 128
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.experiments.io import write_csv, write_json
-from repro.experiments.tables import format_table
+from repro.experiments.tables import format_table, policy_table
 from repro.kernels.cost import COST_KERNELS
 from repro.serving.metrics import metrics_table, record_rows, summary
+from repro.serving.policy import POLICIES
 from repro.serving.scheduler import ServingConfig, simulate_trace
-from repro.serving.trace import TraceSpec, generate_trace, trace_rows
+from repro.serving.trace import SCENARIOS, TraceSpec, generate_trace, trace_rows
 
 __all__ = ["build_parser", "main"]
 
@@ -56,11 +64,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="DPUs per replica")
     deploy.add_argument("--max-batch", type=int, default=16, metavar="N",
                         help="concurrent decoding requests per replica")
+    sched = parser.add_argument_group("scheduling")
+    sched.add_argument("--policy", default="fcfs", metavar="NAME",
+                       help=f"scheduling policy ({', '.join(sorted(POLICIES))})")
+    sched.add_argument("--chunk-tokens", type=int, default=32, metavar="T",
+                       help="prefill token budget per iteration "
+                            "(chunked_prefill policy)")
+    sched.add_argument("--compare", action="store_true",
+                       help="run every scheduling policy on the same trace "
+                            "and print the policy-comparison table")
     trace = parser.add_argument_group("trace")
     trace.add_argument("--requests", type=int, default=64, metavar="N",
                        help="number of requests in the synthetic trace")
+    trace.add_argument("--scenario", default="steady", metavar="NAME",
+                       help=f"arrival scenario ({', '.join(SCENARIOS)})")
     trace.add_argument("--arrival-rate", type=float, default=4.0, metavar="R",
-                       help="mean arrivals per second (Poisson)")
+                       help="mean arrivals per second (base rate)")
     trace.add_argument("--prompt-mean", type=float, default=128.0, metavar="T",
                        help="mean prompt length in tokens")
     trace.add_argument("--prompt-max", type=int, default=1024, metavar="T",
@@ -71,31 +90,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="generation length clip")
     trace.add_argument("--sigma", type=float, default=0.6, metavar="S",
                        help="log-normal shape for both length distributions")
+    trace.add_argument("--tiers", type=int, default=1, metavar="N",
+                       help="priority tiers sampled uniformly (tier 0 is "
+                            "most important)")
+    trace.add_argument("--slo-ttft", default=None, metavar="S0,S1,...",
+                       help="comma-separated per-tier TTFT SLOs in seconds "
+                            "(must match --tiers in length)")
     trace.add_argument("--seed", type=int, default=0, metavar="N",
                        help="trace RNG seed")
     parser.add_argument(
         "--output", default=None, metavar="PATH",
-        help="write results to PATH (.csv writes the metrics table, anything "
-             "else the full JSON payload)",
+        help="write results to PATH (.csv writes the metrics table, or the "
+             "policy-comparison table under --compare; anything else the "
+             "full JSON payload)",
     )
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the stdout tables")
     return parser
 
 
+def _parse_slos(text: Optional[str], tiers: int) -> Tuple[float, ...]:
+    """Parse the ``--slo-ttft`` CSV; empty tuple means no SLOs."""
+    if text is None:
+        return ()
+    try:
+        slos = tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise ValueError(
+            f"--slo-ttft must be comma-separated seconds, got {text!r}"
+        ) from None
+    if len(slos) != tiers:
+        raise ValueError(
+            f"--slo-ttft names {len(slos)} tier(s) but --tiers is {tiers}"
+        )
+    return slos
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
+        if args.tiers < 1:
+            raise ValueError(f"--tiers must be >= 1, got {args.tiers}")
         spec = TraceSpec(
             num_requests=args.requests,
             arrival_rate_per_s=args.arrival_rate,
+            scenario=args.scenario,
             prompt_mean=args.prompt_mean,
             prompt_sigma=args.sigma,
             prompt_max=args.prompt_max,
             gen_mean=args.gen_mean,
             gen_sigma=args.sigma,
             gen_max=args.gen_max,
+            priority_weights=(1.0,) * args.tiers,
+            slo_ttft_s=_parse_slos(args.slo_ttft, args.tiers),
             seed=args.seed,
         )
         config = ServingConfig(
@@ -105,9 +153,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_ranks=args.ranks,
             dpus_per_rank=args.dpus_per_rank,
             max_batch=args.max_batch,
+            policy=args.policy,
+            prefill_chunk_tokens=args.chunk_tokens,
         )
         requests = generate_trace(spec)
         result = simulate_trace(requests, config)
+        comparison = []
+        if args.compare:
+            summaries = []
+            for name in sorted(POLICIES):
+                run = (
+                    result
+                    if name == config.policy
+                    else simulate_trace(
+                        requests, dataclasses.replace(config, policy=name)
+                    )
+                )
+                row = summary(run)
+                row["scenario"] = spec.scenario
+                summaries.append(row)
+            comparison = policy_table(summaries)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -117,15 +182,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"# serving: {len(requests)} request(s) on {config.num_ranks} "
             f"rank replica(s) of {config.model} [{config.scheme}, "
-            f"{config.kernel}], makespan {result.makespan_s:.3f} s"
+            f"{config.kernel}], policy {config.policy}, scenario "
+            f"{spec.scenario}, makespan {result.makespan_s:.3f} s"
         )
         if table:
             print("\n## Serving metrics (TTFT / TPOT / latency / throughput)\n")
             print(format_table(table))
+        if comparison:
+            print("\n## Scheduling-policy comparison (same trace)\n")
+            print(format_table(comparison))
 
     if args.output:
         if args.output.endswith(".csv"):
-            write_csv(args.output, table)
+            write_csv(args.output, comparison if comparison else table)
         else:
             write_json(
                 args.output,
@@ -133,16 +202,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "trace_spec": {
                         "num_requests": spec.num_requests,
                         "arrival_rate_per_s": spec.arrival_rate_per_s,
+                        "scenario": spec.scenario,
                         "prompt_mean": spec.prompt_mean,
                         "prompt_sigma": spec.prompt_sigma,
                         "prompt_max": spec.prompt_max,
                         "gen_mean": spec.gen_mean,
                         "gen_sigma": spec.gen_sigma,
                         "gen_max": spec.gen_max,
+                        "priority_weights": list(spec.priority_weights),
+                        "slo_ttft_s": list(spec.slo_ttft_s),
                         "seed": spec.seed,
                     },
                     "summary": summary(result),
                     "metrics": table,
+                    "policy_comparison": comparison,
                     "requests": record_rows(result),
                     "trace": trace_rows(requests),
                 },

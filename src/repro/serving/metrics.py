@@ -21,6 +21,9 @@ latency       arrival to last generated token
 queue         arrival to admission (KV-cache / batch-slot wait)
 makespan      trace start until the last rank goes idle
 tokens/s      generated tokens over the scope's busy window
+SLO attain.   share of SLO-carrying requests whose TTFT met the SLO
+preemptions   KV-pressure evictions (victims re-queue and recompute
+              their prefix)
 ============  ========================================================
 """
 
@@ -46,6 +49,9 @@ def record_rows(result: ServingResult) -> List[dict]:
                 "arrival_s": rec.arrival_s,
                 "prompt_tokens": rec.prompt_tokens,
                 "gen_tokens": rec.gen_tokens,
+                "priority": rec.priority,
+                "slo_ttft_s": rec.slo_ttft_s,
+                "preemptions": rec.preemptions,
                 "admit_s": rec.admit_s if rec.admit_s is not None else 0.0,
                 "first_token_s": (
                     rec.first_token_s if rec.first_token_s is not None else 0.0
@@ -64,8 +70,9 @@ def metrics_table(result: ServingResult) -> List[dict]:
     """Percentile summary rows enriched with energy and utilization.
 
     The ``all`` row carries deployment-level totals (makespan, energy,
-    energy per token); each ``rank<i>`` row carries that replica's
-    counters, so imbalance across the round-robin shards is visible.
+    energy per token, preemption/requeue counters); each ``rank<i>`` row
+    carries that replica's counters, so imbalance across the round-robin
+    shards is visible.
     """
     table = serving_table(record_rows(result))
     by_scope = {row["scope"]: row for row in table}
@@ -84,6 +91,13 @@ def metrics_table(result: ServingResult) -> List[dict]:
             if result.makespan_s > 0
             else 0.0
         )
+        row["requeues"] = sum(rs.requeues for rs in result.rank_stats)
+        row["recompute_tokens"] = sum(
+            rs.recompute_tokens for rs in result.rank_stats
+        )
+        row["kv_peak_bytes"] = max(
+            (rs.kv_peak_bytes for rs in result.rank_stats), default=0
+        )
     for rs in result.rank_stats:
         row = by_scope.get(f"rank{rs.rank}")
         if row is None:
@@ -95,6 +109,9 @@ def metrics_table(result: ServingResult) -> List[dict]:
             1e3 * rs.energy_j / rs.output_tokens if rs.output_tokens else 0.0
         )
         row["utilization"] = rs.utilization
+        row["requeues"] = rs.requeues
+        row["recompute_tokens"] = rs.recompute_tokens
+        row["kv_peak_bytes"] = rs.kv_peak_bytes
     return table
 
 
@@ -107,6 +124,7 @@ def summary(result: ServingResult) -> dict:
             "model": result.config.model,
             "scheme": result.config.scheme,
             "kernel": result.config.kernel,
+            "policy": result.config.policy,
             "num_ranks": result.config.num_ranks,
             "dpus_per_rank": result.config.dpus_per_rank,
             "max_batch": result.config.max_batch,

@@ -1,0 +1,228 @@
+"""Pluggable scheduling policies for the serving simulator.
+
+A :class:`SchedulingPolicy` decides three things for a rank engine
+(:mod:`repro.serving.scheduler`), each through one small hook:
+
+* **Admission order** — :meth:`~SchedulingPolicy.admission_key` maps a
+  waiting request to a sort key; the engine keeps its ready queue as a
+  heap on that key, so the head of the queue is the next admission
+  candidate.
+* **Preemption** — when the head candidate does not fit the rank's KV
+  budget, :meth:`~SchedulingPolicy.select_victims` may name running
+  requests to evict.  A victim releases its KV reservation and goes
+  back to the ready queue; on re-admission it recomputes its whole
+  prefix (prompt plus the tokens it had already generated) as a fresh
+  prefill, charged through the same
+  :func:`~repro.model.cost.model_inference_cost` path as any other
+  prefill — preemption is never free.
+* **Prefill chunking** — :meth:`~SchedulingPolicy.prefill_chunk` bounds
+  how many prefix tokens one engine iteration may prefill for one
+  request.  The default (everything that remains) reproduces
+  run-to-completion prefills; :class:`ChunkedPrefillPolicy` returns a
+  fixed token budget so long prompts are interleaved with decode steps
+  and decode is never starved.
+
+Policies are registered by name in :data:`POLICIES` and instantiated
+with :func:`get_policy`; the serving CLI's ``--policy`` flag and
+:class:`~repro.serving.scheduler.ServingConfig.policy` resolve through
+that registry.
+
+The four shipped policies:
+
+==================  =====================================================
+``fcfs``            First-come-first-served on arrival time — the
+                    original continuous-batching behavior, extracted.
+``sjf``             Shortest-job-first on the *predicted* decode length
+                    (the request's remaining ``gen_tokens``; the
+                    generator knows the true length, modelling an oracle
+                    predictor).
+``priority``        Priority tiers with earliest-SLO-deadline ordering
+                    inside a tier, plus KV-pressure preemption of
+                    strictly lower-priority running requests.
+``chunked_prefill`` FCFS admission, but prefills advance in fixed
+                    token-budgeted chunks so a long prompt cannot stall
+                    the decode batch (TTFT of concurrent requests drops;
+                    see ``tools/bench.py``).
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple, Type
+
+__all__ = [
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "SjfPolicy",
+    "PriorityPolicy",
+    "ChunkedPrefillPolicy",
+    "POLICIES",
+    "get_policy",
+]
+
+
+class SchedulingPolicy:
+    """Base scheduling policy: FCFS order, no preemption, whole prefills.
+
+    Subclasses override any of the three hooks.  The ``state`` objects
+    passed in are the engine's per-request scheduling states
+    (:class:`repro.serving.scheduler._RequestState`): ``state.request``
+    is the immutable :class:`~repro.serving.trace.Request` and
+    ``state.tokens_out`` the tokens generated so far.
+    """
+
+    #: Registry name; set by every concrete subclass.
+    name: str = "base"
+
+    def admission_key(self, state) -> Tuple:
+        """Sort key for the ready queue (smaller = admitted earlier)."""
+        return (state.request.arrival_s, state.request.req_id)
+
+    def select_victims(self, candidate, running: Sequence, need_bytes: int) -> List:
+        """Running requests to preempt so ``candidate`` can be admitted.
+
+        ``need_bytes`` is how much KV space is missing.  Return ``[]``
+        to decline (the candidate then waits for natural completions).
+        The engine only evicts the returned victims if they actually
+        free enough space, so a partial list is safe.
+        """
+        return []
+
+    def prefill_chunk(self, remaining_tokens: int) -> int:
+        """Prefix tokens one engine iteration may prefill (>= 1)."""
+        return remaining_tokens
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """First-come-first-served: the original continuous-batching order."""
+
+    name = "fcfs"
+
+
+class SjfPolicy(SchedulingPolicy):
+    """Shortest-job-first on predicted decode length.
+
+    The predictor is the request's remaining generation length
+    (``gen_tokens - tokens_out``) — an oracle, since the synthetic
+    trace knows every request's true length.  Ties fall back to FCFS.
+    """
+
+    name = "sjf"
+
+    def admission_key(self, state) -> Tuple:
+        """Order by remaining decode length, then FCFS."""
+        remaining = state.request.gen_tokens - state.tokens_out
+        return (remaining, state.request.arrival_s, state.request.req_id)
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Priority tiers with SLO deadlines and KV-pressure preemption.
+
+    Admission order is ``(priority, deadline, arrival)`` — tier 0 is the
+    most important, and inside a tier the earliest TTFT deadline
+    (``arrival + slo_ttft_s``; no SLO means no deadline) goes first.
+    When the head candidate cannot fit the KV budget, running requests
+    of *strictly lower* priority are preempted, least-important and
+    most-recently-started first; the strict inequality makes preemption
+    cycles impossible.
+    """
+
+    name = "priority"
+
+    @staticmethod
+    def _deadline(request) -> float:
+        return (
+            request.arrival_s + request.slo_ttft_s
+            if request.slo_ttft_s > 0
+            else math.inf
+        )
+
+    def admission_key(self, state) -> Tuple:
+        """Order by tier, then SLO deadline, then FCFS."""
+        request = state.request
+        return (
+            request.priority,
+            self._deadline(request),
+            request.arrival_s,
+            request.req_id,
+        )
+
+    def select_victims(self, candidate, running: Sequence, need_bytes: int) -> List:
+        """Evict strictly-lower-priority requests until the KV gap closes."""
+        lower = [
+            state
+            for state in running
+            if state.request.priority > candidate.request.priority
+        ]
+        # Least important first; inside a tier prefer the request that
+        # started most recently (least sunk decode work to recompute).
+        lower.sort(key=lambda s: (-s.request.priority, s.tokens_out))
+        victims: List = []
+        freed = 0
+        for state in lower:
+            if freed >= need_bytes:
+                break
+            victims.append(state)
+            freed += state.kv_bytes
+        return victims if freed >= need_bytes else []
+
+
+class ChunkedPrefillPolicy(SchedulingPolicy):
+    """FCFS admission with token-budgeted prefill chunks.
+
+    Each engine iteration prefills at most ``chunk_tokens`` prefix
+    tokens per request before running a decode step, so a long prompt
+    is interleaved with (rather than serialised ahead of) the running
+    decode batch: concurrent requests keep producing tokens and
+    newly-arrived short requests finish their own prefills while the
+    long one is still chunking.
+    """
+
+    name = "chunked_prefill"
+
+    def __init__(self, chunk_tokens: int = 32) -> None:
+        if chunk_tokens < 1:
+            raise ValueError(f"chunk_tokens must be >= 1, got {chunk_tokens}")
+        self.chunk_tokens = chunk_tokens
+
+    def prefill_chunk(self, remaining_tokens: int) -> int:
+        """Cap each iteration's prefill at the configured token budget."""
+        return min(remaining_tokens, self.chunk_tokens)
+
+
+#: Registry of scheduling policies by CLI/config name.
+POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    FcfsPolicy.name: FcfsPolicy,
+    SjfPolicy.name: SjfPolicy,
+    PriorityPolicy.name: PriorityPolicy,
+    ChunkedPrefillPolicy.name: ChunkedPrefillPolicy,
+}
+
+
+def get_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate the registered policy ``name``.
+
+    ``kwargs`` are forwarded to the policy constructor (e.g.
+    ``chunk_tokens`` for ``chunked_prefill``); options the constructor
+    does not take are reported as a :class:`ValueError`.
+
+    Raises
+    ------
+    ValueError
+        For an unknown policy name (listing the valid ones) or for
+        options the policy does not accept.
+    """
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; expected one of "
+            f"{tuple(sorted(POLICIES))}"
+        ) from None
+    try:
+        return cls(**kwargs)
+    except TypeError:
+        raise ValueError(
+            f"policy {name!r} accepts no options {sorted(kwargs)}"
+        ) from None

@@ -15,18 +15,30 @@ substrate the way a production serving stack would:
   weight GEMMs run once, batched over the ``B`` running sequences
   (``M = B`` rows), while each request pays its own two attention
   matmuls at its current KV length.
-* **KV-cache admission** — a request reserves
+* **Pluggable scheduling** — *which* waiting request is admitted next,
+  whether KV pressure may preempt running requests, and how prefills
+  are chunked are all decided by a
+  :class:`~repro.serving.policy.SchedulingPolicy`
+  (``fcfs`` / ``sjf`` / ``priority`` / ``chunked_prefill``; see
+  :mod:`repro.serving.policy`).  FCFS reproduces the original
+  hard-coded behavior exactly.
+* **KV-cache admission & preemption** — a request reserves
   ``kv_cache_bytes(1, prompt + gen)`` of the rank's MRAM at admission
   (what remains of ``dpus_per_rank x mram_bytes`` after the packed
-  weights); when the reservation does not fit, admission stalls until
-  running requests complete and release their cache.  A request that
-  can never fit is rejected up front.
+  weights); when the reservation does not fit, the policy may preempt
+  running victims (their KV is dropped, they re-queue, and on
+  re-admission they recompute their whole prefix — prompt plus tokens
+  already generated — as a fresh prefill charged through
+  :func:`~repro.model.cost.model_inference_cost`), otherwise admission
+  stalls until running requests complete.  A request that can never
+  fit is rejected up front.
 
 Iteration latency and energy come from the same closed-form cost spine
 as :func:`repro.model.cost.model_inference_cost` — per-batch weight-step
-stats from :func:`~repro.model.cost.decode_step_weight_stats` and
-per-KV attention stats via :func:`~repro.model.decoder.attention_gemm_costs`
-— memoised per batch size / prompt length / KV length, so thousand-request
+stats from :func:`~repro.model.cost.decode_step_weight_stats`, per-KV
+attention stats via :func:`~repro.model.decoder.attention_gemm_costs`
+and prefill chunks via :func:`~repro.model.cost.prefill_chunk_stats` —
+memoised per batch size / prompt length / KV length, so thousand-request
 traces simulate in seconds.  Serving energy attributes each GEMM with
 its own DPU count (a per-component sum, marginally different from the
 phase-level attribution in :class:`~repro.pim.energy.EnergyModel`
@@ -35,6 +47,8 @@ applied to merged stats).
 
 from __future__ import annotations
 
+import heapq
+import inspect
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,13 +57,14 @@ from repro.kernels.cost import COST_KERNELS
 from repro.model.config import ModelConfig, get_model_config
 from repro.model.cost import (
     decode_step_weight_stats,
-    model_inference_cost,
     policy_weight_bytes,
+    prefill_chunk_stats,
 )
 from repro.model.decoder import attention_gemm_costs
 from repro.model.policy import SchemePolicy
 from repro.pim.energy import EnergyModel
 from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
+from repro.serving.policy import POLICIES, SchedulingPolicy, get_policy
 from repro.serving.trace import Request
 
 __all__ = ["ServingConfig", "RequestRecord", "RankStats", "ServingResult", "simulate_trace"]
@@ -70,6 +85,12 @@ class ServingConfig:
         DPUs (and MRAM banks) per replica.
     max_batch:
         Concurrent decoding requests per rank.
+    policy:
+        Scheduling-policy name from :data:`repro.serving.policy.POLICIES`
+        (``fcfs`` / ``sjf`` / ``priority`` / ``chunked_prefill``).
+    prefill_chunk_tokens:
+        Per-iteration prefill token budget used by the
+        ``chunked_prefill`` policy (ignored by the others).
     """
 
     model: str = "gpt-350m"
@@ -78,15 +99,34 @@ class ServingConfig:
     num_ranks: int = 4
     dpus_per_rank: int = 64
     max_batch: int = 16
+    policy: str = "fcfs"
+    prefill_chunk_tokens: int = 32
 
     def __post_init__(self) -> None:
         if self.kernel not in COST_KERNELS:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; expected one of {COST_KERNELS}"
             )
-        for name in ("num_ranks", "dpus_per_rank", "max_batch"):
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r}; expected one of "
+                f"{tuple(sorted(POLICIES))}"
+            )
+        for name in ("num_ranks", "dpus_per_rank", "max_batch",
+                     "prefill_chunk_tokens"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+    def make_policy(self) -> SchedulingPolicy:
+        """Instantiate this config's scheduling policy.
+
+        ``prefill_chunk_tokens`` is forwarded to any registered policy
+        whose constructor takes a ``chunk_tokens`` option.
+        """
+        cls = POLICIES[self.policy]
+        if "chunk_tokens" in inspect.signature(cls).parameters:
+            return get_policy(self.policy, chunk_tokens=self.prefill_chunk_tokens)
+        return get_policy(self.policy)
 
 
 @dataclass
@@ -94,7 +134,9 @@ class RequestRecord:
     """Outcome of one request: timestamps plus the derived serving metrics.
 
     Timestamps are absolute simulation seconds; ``None`` until the event
-    happens (rejected requests never admit).
+    happens (rejected requests never admit).  ``admit_s`` is the *first*
+    admission — a preempted request keeps it, and every eviction bumps
+    ``preemptions``.
     """
 
     req_id: int
@@ -102,14 +144,17 @@ class RequestRecord:
     arrival_s: float
     prompt_tokens: int
     gen_tokens: int
+    priority: int = 0
+    slo_ttft_s: float = 0.0
     status: str = "completed"
     admit_s: Optional[float] = None
     first_token_s: Optional[float] = None
     finish_s: Optional[float] = None
+    preemptions: int = 0
 
     @property
     def queue_s(self) -> float:
-        """Arrival-to-admission wait."""
+        """Arrival-to-first-admission wait."""
         return (self.admit_s - self.arrival_s) if self.admit_s is not None else 0.0
 
     @property
@@ -133,7 +178,6 @@ class RequestRecord:
             return 0.0
         return (self.finish_s - self.first_token_s) / (self.gen_tokens - 1)
 
-
 @dataclass
 class RankStats:
     """Per-replica aggregate counters for one simulation."""
@@ -145,6 +189,10 @@ class RankStats:
     prefill_tokens: int = 0
     output_tokens: int = 0
     decode_iterations: int = 0
+    preemptions: int = 0
+    requeues: int = 0
+    recompute_tokens: int = 0
+    kv_peak_bytes: int = 0
 
     @property
     def utilization(self) -> float:
@@ -179,16 +227,24 @@ class ServingResult:
 
     @property
     def prefill_tokens(self) -> int:
-        """Prompt tokens prefilled across every replica."""
+        """Prompt (and recomputed prefix) tokens prefilled across replicas."""
         return sum(rs.prefill_tokens for rs in self.rank_stats)
+
+    @property
+    def preemptions(self) -> int:
+        """KV-pressure evictions across every replica."""
+        return sum(rs.preemptions for rs in self.rank_stats)
 
 
 class _CostCache:
     """Memoised (latency, energy) scalars for the three iteration costs.
 
-    One instance per simulation: distinct prompt lengths, batch sizes
-    and KV lengths each cost one analytical evaluation, after which an
-    engine iteration is a handful of dict lookups.
+    One instance per simulation: distinct prefill-chunk shapes, batch
+    sizes and KV lengths each cost one analytical evaluation, after
+    which an engine iteration is a handful of dict lookups.  A whole
+    prompt is the ``(done=0, chunk=prompt)`` special case of a chunk,
+    bit-identical to the prefill phase of
+    :func:`~repro.model.cost.model_inference_cost`.
     """
 
     def __init__(
@@ -204,23 +260,24 @@ class _CostCache:
         self.system = system
         self.kernel = kernel
         self.energy = energy_model
-        self._prefill: Dict[int, Tuple[float, float]] = {}
+        self._chunk: Dict[Tuple[int, int], Tuple[float, float]] = {}
         self._weight_step: Dict[int, Tuple[float, float]] = {}
         self._attn_step: Dict[int, Tuple[float, float]] = {}
 
     def _scalars(self, stats: ExecutionStats) -> Tuple[float, float]:
         return stats.total_s, self.energy.total_j(stats)
 
-    def prefill(self, prompt_tokens: int) -> Tuple[float, float]:
-        """(latency_s, energy_j) of prefilling one ``prompt_tokens`` prompt."""
-        hit = self._prefill.get(prompt_tokens)
+    def prefill_chunk(self, done_tokens: int, chunk_tokens: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one prefill chunk after ``done_tokens``."""
+        key = (done_tokens, chunk_tokens)
+        hit = self._chunk.get(key)
         if hit is None:
-            cost = model_inference_cost(
-                self.model, self.policy, batch=1, prefill_tokens=prompt_tokens,
-                decode_tokens=0, system=self.system, kernel=self.kernel,
+            stats = prefill_chunk_stats(
+                self.model, self.policy, 1, done_tokens, chunk_tokens,
+                system=self.system, kernel=self.kernel,
             )
-            hit = (cost.prefill.latency_s, cost.prefill.energy.total_j)
-            self._prefill[prompt_tokens] = hit
+            hit = self._scalars(stats)
+            self._chunk[key] = hit
         return hit
 
     def weight_step(self, batch: int) -> Tuple[float, float]:
@@ -254,113 +311,188 @@ class _CostCache:
 
 @dataclass
 class _RequestState:
-    """Mutable per-request scheduling state inside a rank engine."""
+    """Mutable per-request scheduling state inside a rank engine.
+
+    ``prefix_target`` / ``prefix_done`` track the prefix (prompt plus
+    any previously generated tokens after a preemption) that must be
+    prefilled before the request may decode again.
+    """
 
     request: Request
     record: RequestRecord
     kv_bytes: int
     tokens_out: int = 0
+    prefix_target: int = 0
+    prefix_done: int = 0
 
 
-def _simulate_rank(
-    rank: int,
-    requests: Sequence[Request],
-    cache: _CostCache,
-    config: ServingConfig,
-    kv_capacity: int,
-) -> Tuple[List[RequestRecord], RankStats]:
-    """Run one rank's continuous-batching engine over its request shard."""
-    model = cache.model
-    stats = RankStats(rank=rank)
-    waiting = deque(
-        _RequestState(
-            request=r,
-            record=RequestRecord(
-                req_id=r.req_id, rank=rank, arrival_s=r.arrival_s,
-                prompt_tokens=r.prompt_tokens, gen_tokens=r.gen_tokens,
-            ),
-            kv_bytes=model.kv_cache_bytes(1, r.prompt_tokens + r.gen_tokens),
+class _RankEngine:
+    """One replica's continuous-batching engine, driven by a policy."""
+
+    def __init__(
+        self,
+        rank: int,
+        requests: Sequence[Request],
+        cache: _CostCache,
+        config: ServingConfig,
+        kv_capacity: int,
+        policy: SchedulingPolicy,
+    ) -> None:
+        self.cache = cache
+        self.config = config
+        self.kv_capacity = kv_capacity
+        self.policy = policy
+        self.stats = RankStats(rank=rank)
+        self.records: List[RequestRecord] = []
+        model = cache.model
+        self.pending = deque(
+            _RequestState(
+                request=r,
+                record=RequestRecord(
+                    req_id=r.req_id, rank=rank, arrival_s=r.arrival_s,
+                    prompt_tokens=r.prompt_tokens, gen_tokens=r.gen_tokens,
+                    priority=r.priority, slo_ttft_s=r.slo_ttft_s,
+                ),
+                kv_bytes=model.kv_cache_bytes(1, r.prompt_tokens + r.gen_tokens),
+            )
+            for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         )
-        for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-    )
-    running: List[_RequestState] = []
-    records: List[RequestRecord] = []
-    clock = 0.0
-    kv_used = 0
+        self.ready: List[Tuple[Tuple, int, _RequestState]] = []
+        self.prefilling: List[_RequestState] = []
+        self.running: List[_RequestState] = []
+        self.clock = 0.0
+        self.kv_used = 0
+        self._seq = 0  # heap tie-break counter
 
-    while waiting or running:
-        # --- admission: arrived requests, bounded by batch and KV space ---
-        admitted: List[_RequestState] = []
-        while waiting and waiting[0].request.arrival_s <= clock:
-            state = waiting[0]
-            if state.kv_bytes > kv_capacity:
+    # -- ready-queue helpers ------------------------------------------------
+
+    def _enqueue(self, state: _RequestState) -> None:
+        heapq.heappush(self.ready, (self.policy.admission_key(state), self._seq, state))
+        self._seq += 1
+
+    def _collect_arrivals(self) -> None:
+        while self.pending and self.pending[0].request.arrival_s <= self.clock:
+            self._enqueue(self.pending.popleft())
+
+    # -- admission + preemption ---------------------------------------------
+
+    def _preempt(self, victims: Sequence[_RequestState]) -> None:
+        for victim in victims:
+            self.running.remove(victim)
+            self.kv_used -= victim.kv_bytes
+            victim.record.preemptions += 1
+            self.stats.preemptions += 1
+            victim.prefix_done = 0
+            self._enqueue(victim)
+
+    def _admit(self) -> None:
+        while self.ready:
+            if len(self.running) + len(self.prefilling) >= self.config.max_batch:
+                break
+            key, seq, state = heapq.heappop(self.ready)
+            if state.kv_bytes > self.kv_capacity:
                 state.record.status = "rejected"
-                records.append(state.record)
-                waiting.popleft()
+                self.records.append(state.record)
                 continue
-            if len(running) + len(admitted) >= config.max_batch:
-                break
-            if kv_used + state.kv_bytes > kv_capacity:
-                break
-            kv_used += state.kv_bytes
-            state.record.admit_s = clock
-            admitted.append(state)
-            waiting.popleft()
+            if self.kv_used + state.kv_bytes > self.kv_capacity:
+                need = self.kv_used + state.kv_bytes - self.kv_capacity
+                victims = self.policy.select_victims(state, self.running, need)
+                # Honor the policy contract: evict only if the victims
+                # actually close the KV gap.
+                if victims and sum(v.kv_bytes for v in victims) >= need:
+                    self._preempt(victims)
+                if self.kv_used + state.kv_bytes > self.kv_capacity:
+                    # Same (key, seq): the candidate returns to its slot.
+                    heapq.heappush(self.ready, (key, seq, state))
+                    break
+            self.kv_used += state.kv_bytes
+            self.stats.kv_peak_bytes = max(self.stats.kv_peak_bytes, self.kv_used)
+            if state.record.admit_s is None:
+                state.record.admit_s = self.clock
+            else:
+                self.stats.requeues += 1
+                self.stats.recompute_tokens += (
+                    state.request.prompt_tokens + state.tokens_out
+                )
+            state.prefix_target = state.request.prompt_tokens + state.tokens_out
+            state.prefix_done = 0
+            self.prefilling.append(state)
 
-        # --- prefill the admissions, then they join the decode batch ---
-        for state in admitted:
-            latency, energy = cache.prefill(state.request.prompt_tokens)
-            clock += latency
-            stats.busy_s += latency
-            stats.energy_j += energy
-            stats.prefill_tokens += state.request.prompt_tokens
-            running.append(state)
+    # -- work stages ---------------------------------------------------------
 
-        if running:
-            # --- one decode iteration: every running request advances ---
-            latency, energy = cache.weight_step(len(running))
-            for state in running:
-                kv_len = state.request.prompt_tokens + state.tokens_out + 1
-                attn_latency, attn_energy = cache.attn_step(kv_len)
-                latency += attn_latency
-                energy += attn_energy
-            clock += latency
-            stats.busy_s += latency
-            stats.energy_j += energy
-            stats.decode_iterations += 1
-            still_running: List[_RequestState] = []
-            for state in running:
-                state.tokens_out += 1
-                stats.output_tokens += 1
-                if state.tokens_out == 1:
-                    state.record.first_token_s = clock
-                if state.tokens_out >= state.request.gen_tokens:
-                    state.record.finish_s = clock
-                    kv_used -= state.kv_bytes
-                    records.append(state.record)
-                else:
-                    still_running.append(state)
-            running = still_running
-        elif waiting:
-            # Idle: jump to the next arrival.
-            clock = max(clock, waiting[0].request.arrival_s)
+    def _prefill_stage(self) -> None:
+        still: List[_RequestState] = []
+        for state in self.prefilling:
+            remaining = state.prefix_target - state.prefix_done
+            chunk = min(self.policy.prefill_chunk(remaining), remaining)
+            latency, energy = self.cache.prefill_chunk(state.prefix_done, chunk)
+            self.clock += latency
+            self.stats.busy_s += latency
+            self.stats.energy_j += energy
+            self.stats.prefill_tokens += chunk
+            state.prefix_done += chunk
+            if state.prefix_done >= state.prefix_target:
+                self.running.append(state)
+            else:
+                still.append(state)
+        self.prefilling = still
 
-    stats.finish_s = clock
-    return records, stats
+    def _decode_iteration(self) -> None:
+        latency, energy = self.cache.weight_step(len(self.running))
+        for state in self.running:
+            kv_len = state.request.prompt_tokens + state.tokens_out + 1
+            attn_latency, attn_energy = self.cache.attn_step(kv_len)
+            latency += attn_latency
+            energy += attn_energy
+        self.clock += latency
+        self.stats.busy_s += latency
+        self.stats.energy_j += energy
+        self.stats.decode_iterations += 1
+        still_running: List[_RequestState] = []
+        for state in self.running:
+            state.tokens_out += 1
+            self.stats.output_tokens += 1
+            if state.tokens_out == 1:
+                state.record.first_token_s = self.clock
+            if state.tokens_out >= state.request.gen_tokens:
+                state.record.finish_s = self.clock
+                self.kv_used -= state.kv_bytes
+                self.records.append(state.record)
+            else:
+                still_running.append(state)
+        self.running = still_running
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> Tuple[List[RequestRecord], RankStats]:
+        while self.pending or self.ready or self.prefilling or self.running:
+            self._collect_arrivals()
+            self._admit()
+            self._prefill_stage()
+            if self.running:
+                self._decode_iteration()
+            elif not self.prefilling and self.pending:
+                # Idle: jump to the next arrival.
+                self.clock = max(self.clock, self.pending[0].request.arrival_s)
+        self.stats.finish_s = self.clock
+        return self.records, self.stats
 
 
 def simulate_trace(
     trace: Sequence[Request],
     config: Optional[ServingConfig] = None,
-    policy: Optional[SchemePolicy] = None,
+    scheme_policy: Optional[SchemePolicy] = None,
     energy_model: Optional[EnergyModel] = None,
+    sched_policy: Optional[SchedulingPolicy] = None,
 ) -> ServingResult:
     """Simulate serving ``trace`` under ``config``; returns the full result.
 
     Requests are assigned to rank replicas round-robin in arrival order;
     each replica then runs its continuous-batching engine independently
-    (replicas share nothing but the host).  ``policy`` defaults to the
-    uniform ``config.scheme`` policy.
+    (replicas share nothing but the host).  ``scheme_policy`` defaults
+    to the uniform ``config.scheme`` quantization policy;
+    ``sched_policy`` overrides the scheduling policy named by
+    ``config.policy`` (useful for pre-configured policy instances).
 
     Raises
     ------
@@ -370,12 +502,15 @@ def simulate_trace(
     """
     config = config if config is not None else ServingConfig()
     model = get_model_config(config.model)
-    policy = policy if policy is not None else SchemePolicy(config.scheme)
+    scheme_policy = (
+        scheme_policy if scheme_policy is not None else SchemePolicy(config.scheme)
+    )
     energy_model = energy_model if energy_model is not None else EnergyModel()
+    sched_policy = sched_policy if sched_policy is not None else config.make_policy()
     system = UpmemSystem(
         UpmemConfig(num_ranks=1, dpus_per_rank=config.dpus_per_rank)
     )
-    weight_bytes = policy_weight_bytes(model, policy)
+    weight_bytes = policy_weight_bytes(model, scheme_policy)
     mram_total = config.dpus_per_rank * system.timings.mram_bytes
     kv_capacity = mram_total - weight_bytes
     if kv_capacity <= 0:
@@ -383,7 +518,7 @@ def simulate_trace(
             f"packed weights ({weight_bytes} B) exceed a replica's MRAM "
             f"({mram_total} B); use more DPUs per rank or a narrower scheme"
         )
-    cache = _CostCache(model, policy, system, config.kernel, energy_model)
+    cache = _CostCache(model, scheme_policy, system, config.kernel, energy_model)
 
     shards: List[List[Request]] = [[] for _ in range(config.num_ranks)]
     ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
@@ -393,9 +528,8 @@ def simulate_trace(
     records: List[RequestRecord] = []
     rank_stats: List[RankStats] = []
     for rank, shard in enumerate(shards):
-        shard_records, shard_stats = _simulate_rank(
-            rank, shard, cache, config, kv_capacity
-        )
+        engine = _RankEngine(rank, shard, cache, config, kv_capacity, sched_policy)
+        shard_records, shard_stats = engine.run()
         records.extend(shard_records)
         rank_stats.append(shard_stats)
     records.sort(key=lambda rec: rec.req_id)

@@ -1,11 +1,27 @@
 """Synthetic request traces for the serving simulator.
 
 A trace is a list of :class:`Request` records — arrival time, prompt
-length and generation length — sorted by arrival.  The generator is
-fully seeded and draws Poisson arrivals (exponential inter-arrival
-gaps at ``arrival_rate_per_s``) with log-normal prompt/generation
-length distributions clipped to configured maxima, the shape commonly
-used to model production LLM serving traffic.
+length, generation length, priority tier and optional TTFT SLO —
+sorted by arrival.  The generator is fully seeded; equal specs always
+produce identical traces.  Three arrival **scenarios** are available
+(:data:`SCENARIOS`):
+
+* ``steady`` — homogeneous Poisson arrivals (exponential inter-arrival
+  gaps at ``arrival_rate_per_s``), the shape commonly used to model
+  production LLM serving traffic,
+* ``bursty`` — a two-state Markov-modulated Poisson process (MMPP):
+  the process alternates between a *calm* state at the base rate and a
+  *burst* state at ``burst_rate_multiplier`` times the base rate, with
+  exponentially distributed dwell times, producing the arrival bursts
+  that stress admission control and preemption,
+* ``diurnal`` — a non-homogeneous Poisson process whose rate follows a
+  sinusoidal day/night cycle, ``rate(t) = base * (1 + amplitude *
+  sin(2 pi t / period))``, drawn by thinning.
+
+Prompt/generation lengths are log-normal with configurable mean/shape,
+clipped to maxima.  Priority tiers are sampled from
+``priority_weights`` (tier 0 first, most important), and each tier may
+carry a time-to-first-token SLO from ``slo_ttft_s``.
 
 >>> from repro.serving.trace import TraceSpec, generate_trace
 >>> trace = generate_trace(TraceSpec(num_requests=3, seed=7))
@@ -15,17 +31,30 @@ used to model production LLM serving traffic.
 True
 >>> all(r.prompt_tokens >= 1 and r.gen_tokens >= 1 for r in trace)
 True
+>>> bursty = generate_trace(TraceSpec(num_requests=3, seed=7, scenario="bursty"))
+>>> all(b.arrival_s > 0 for b in bursty)
+True
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Request", "TraceSpec", "generate_trace", "trace_rows", "rows_to_trace"]
+__all__ = [
+    "Request",
+    "TraceSpec",
+    "SCENARIOS",
+    "generate_trace",
+    "trace_rows",
+    "rows_to_trace",
+]
+
+#: Arrival scenarios understood by :func:`generate_trace`.
+SCENARIOS = ("steady", "bursty", "diurnal")
 
 
 @dataclass(frozen=True)
@@ -43,12 +72,21 @@ class Request:
     gen_tokens:
         Tokens to generate (decode steps; the request completes when the
         last one is produced).
+    priority:
+        Priority tier, 0 = most important.  Only the ``priority``
+        scheduling policy interprets it; the default trace puts every
+        request in tier 0.
+    slo_ttft_s:
+        Time-to-first-token SLO in seconds (0 = no SLO).  Feeds the
+        SLO-attainment metric and the ``priority`` policy's deadlines.
     """
 
     req_id: int
     arrival_s: float
     prompt_tokens: int
     gen_tokens: int
+    priority: int = 0
+    slo_ttft_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -57,6 +95,10 @@ class Request:
             raise ValueError(f"prompt_tokens must be >= 1, got {self.prompt_tokens}")
         if self.gen_tokens < 1:
             raise ValueError(f"gen_tokens must be >= 1, got {self.gen_tokens}")
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+        if self.slo_ttft_s < 0:
+            raise ValueError(f"slo_ttft_s must be >= 0, got {self.slo_ttft_s}")
 
 
 @dataclass(frozen=True)
@@ -68,7 +110,17 @@ class TraceSpec:
     num_requests:
         Trace length.
     arrival_rate_per_s:
-        Mean request arrival rate (Poisson process).
+        Mean request arrival rate in the base (calm) state.
+    scenario:
+        One of :data:`SCENARIOS`: ``steady`` Poisson arrivals, ``bursty``
+        two-state MMPP, or ``diurnal`` sinusoidal rate modulation.
+    burst_rate_multiplier / burst_dwell_s / calm_dwell_s:
+        Bursty (MMPP) knobs: the burst-state rate is ``base *
+        burst_rate_multiplier``; dwell times in each state are
+        exponential with these means.
+    diurnal_period_s / diurnal_amplitude:
+        Diurnal knobs: rate swings by ``amplitude`` (in ``[0, 1]``)
+        around the base over a ``period_s`` cycle.
     prompt_mean / prompt_sigma / prompt_max:
         Log-normal prompt-length distribution: ``prompt_mean`` is the
         distribution mean in tokens, ``prompt_sigma`` the log-space
@@ -76,18 +128,34 @@ class TraceSpec:
         one token).
     gen_mean / gen_sigma / gen_max:
         Same three knobs for the generation length.
+    priority_weights:
+        Sampling weights for priority tiers 0..n-1 (tier 0 most
+        important).  The default single tier reproduces priority-free
+        traces.
+    slo_ttft_s:
+        Per-tier TTFT SLOs in seconds; empty = no SLOs, otherwise must
+        match ``priority_weights`` in length (0 entries mean "no SLO
+        for this tier").
     seed:
         RNG seed; equal specs generate identical traces.
     """
 
     num_requests: int = 64
     arrival_rate_per_s: float = 4.0
+    scenario: str = "steady"
+    burst_rate_multiplier: float = 8.0
+    burst_dwell_s: float = 2.0
+    calm_dwell_s: float = 8.0
+    diurnal_period_s: float = 60.0
+    diurnal_amplitude: float = 0.8
     prompt_mean: float = 128.0
     prompt_sigma: float = 0.6
     prompt_max: int = 1024
     gen_mean: float = 64.0
     gen_sigma: float = 0.6
     gen_max: int = 512
+    priority_weights: Tuple[float, ...] = (1.0,)
+    slo_ttft_s: Tuple[float, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -96,6 +164,22 @@ class TraceSpec:
         if self.arrival_rate_per_s <= 0:
             raise ValueError(
                 f"arrival_rate_per_s must be positive, got {self.arrival_rate_per_s}"
+            )
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; expected one of {SCENARIOS}"
+            )
+        if self.burst_rate_multiplier <= 0:
+            raise ValueError(
+                f"burst_rate_multiplier must be positive, "
+                f"got {self.burst_rate_multiplier}"
+            )
+        for name in ("burst_dwell_s", "calm_dwell_s", "diurnal_period_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1], got {self.diurnal_amplitude}"
             )
         for name in ("prompt_mean", "gen_mean"):
             if getattr(self, name) < 1:
@@ -106,6 +190,21 @@ class TraceSpec:
         for name in ("prompt_max", "gen_max"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if not self.priority_weights:
+            raise ValueError("priority_weights must name at least one tier")
+        if any(w <= 0 for w in self.priority_weights):
+            raise ValueError(
+                f"priority_weights must be positive, got {self.priority_weights}"
+            )
+        if self.slo_ttft_s:
+            if len(self.slo_ttft_s) != len(self.priority_weights):
+                raise ValueError(
+                    f"slo_ttft_s must be empty or match priority_weights in "
+                    f"length ({len(self.priority_weights)}), got "
+                    f"{len(self.slo_ttft_s)} entries"
+                )
+            if any(s < 0 for s in self.slo_ttft_s):
+                raise ValueError(f"slo_ttft_s must be >= 0, got {self.slo_ttft_s}")
 
 
 def _lengths(
@@ -118,20 +217,92 @@ def _lengths(
     return np.clip(np.rint(raw).astype(int), 1, maximum)
 
 
+def _steady_arrivals(rng: np.random.Generator, spec: TraceSpec) -> np.ndarray:
+    """Homogeneous Poisson arrivals at the base rate."""
+    gaps = rng.exponential(
+        scale=1.0 / spec.arrival_rate_per_s, size=spec.num_requests
+    )
+    return np.cumsum(gaps)
+
+
+def _bursty_arrivals(rng: np.random.Generator, spec: TraceSpec) -> np.ndarray:
+    """Two-state MMPP arrivals: calm at the base rate, bursts above it.
+
+    The exponential inter-arrival draw is memoryless, so on a state
+    switch the pending gap is simply redrawn at the new rate from the
+    switch time.
+    """
+    rates = (
+        spec.arrival_rate_per_s,
+        spec.arrival_rate_per_s * spec.burst_rate_multiplier,
+    )
+    dwells = (spec.calm_dwell_s, spec.burst_dwell_s)
+    arrivals = []
+    t = 0.0
+    state = 0  # start calm
+    switch_at = float(rng.exponential(scale=dwells[state]))
+    while len(arrivals) < spec.num_requests:
+        candidate = t + float(rng.exponential(scale=1.0 / rates[state]))
+        if candidate > switch_at:
+            t = switch_at
+            state = 1 - state
+            switch_at = t + float(rng.exponential(scale=dwells[state]))
+            continue
+        t = candidate
+        arrivals.append(t)
+    return np.asarray(arrivals)
+
+
+def _diurnal_arrivals(rng: np.random.Generator, spec: TraceSpec) -> np.ndarray:
+    """Sinusoidally modulated Poisson arrivals, drawn by thinning."""
+    base = spec.arrival_rate_per_s
+    amplitude = spec.diurnal_amplitude
+    omega = 2.0 * math.pi / spec.diurnal_period_s
+    rate_max = base * (1.0 + amplitude)
+    arrivals = []
+    t = 0.0
+    while len(arrivals) < spec.num_requests:
+        t += float(rng.exponential(scale=1.0 / rate_max))
+        rate_t = base * (1.0 + amplitude * math.sin(omega * t))
+        if float(rng.uniform()) * rate_max <= rate_t:
+            arrivals.append(t)
+    return np.asarray(arrivals)
+
+
+_ARRIVAL_GENERATORS = {
+    "steady": _steady_arrivals,
+    "bursty": _bursty_arrivals,
+    "diurnal": _diurnal_arrivals,
+}
+
+
 def generate_trace(spec: TraceSpec) -> List[Request]:
-    """Generate the seeded synthetic trace described by ``spec``."""
+    """Generate the seeded synthetic trace described by ``spec``.
+
+    Draw order is arrivals, prompt lengths, generation lengths, then
+    priorities — so for a fixed seed the length marginals are identical
+    across scenarios with the same arrival-draw count (``steady``
+    traces reproduce the pre-scenario generator draw for draw).
+    """
     rng = np.random.default_rng(spec.seed)
     n = spec.num_requests
-    gaps = rng.exponential(scale=1.0 / spec.arrival_rate_per_s, size=n)
-    arrivals = np.cumsum(gaps)
+    arrivals = _ARRIVAL_GENERATORS[spec.scenario](rng, spec)
     prompts = _lengths(rng, n, spec.prompt_mean, spec.prompt_sigma, spec.prompt_max)
     gens = _lengths(rng, n, spec.gen_mean, spec.gen_sigma, spec.gen_max)
+    if len(spec.priority_weights) == 1:
+        priorities = np.zeros(n, dtype=int)
+    else:
+        weights = np.asarray(spec.priority_weights, dtype=float)
+        priorities = rng.choice(len(weights), size=n, p=weights / weights.sum())
+    slos = spec.slo_ttft_s if spec.slo_ttft_s else None
     return [
         Request(
             req_id=i,
             arrival_s=float(arrivals[i]),
             prompt_tokens=int(prompts[i]),
             gen_tokens=int(gens[i]),
+            priority=int(priorities[i]),
+            slo_ttft_s=float(slos[priorities[i]]) if slos is not None else 0.0,
         )
         for i in range(n)
     ]
@@ -145,19 +316,27 @@ def trace_rows(trace: Sequence[Request]) -> List[dict]:
             "arrival_s": r.arrival_s,
             "prompt_tokens": r.prompt_tokens,
             "gen_tokens": r.gen_tokens,
+            "priority": r.priority,
+            "slo_ttft_s": r.slo_ttft_s,
         }
         for r in trace
     ]
 
 
 def rows_to_trace(rows: Sequence[dict]) -> List[Request]:
-    """Inverse of :func:`trace_rows`: rebuild the trace from row dicts."""
+    """Inverse of :func:`trace_rows`: rebuild the trace from row dicts.
+
+    ``priority`` / ``slo_ttft_s`` default when absent, so traces written
+    before those fields existed still load.
+    """
     return [
         Request(
             req_id=int(row["req_id"]),
             arrival_s=float(row["arrival_s"]),
             prompt_tokens=int(row["prompt_tokens"]),
             gen_tokens=int(row["gen_tokens"]),
+            priority=int(row.get("priority", 0)),
+            slo_ttft_s=float(row.get("slo_ttft_s", 0.0)),
         )
         for row in rows
     ]

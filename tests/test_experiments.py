@@ -12,6 +12,7 @@ from repro.experiments import (
     format_table,
     latency_table,
     main,
+    policy_table,
     read_csv,
     read_json,
     run_sweep,
@@ -191,6 +192,61 @@ def test_csv_unknown_text_column_survives(tmp_path):
     path = str(tmp_path / "text.csv")
     write_csv(path, rows)
     assert read_csv(path) == rows
+
+
+def test_csv_empty_row_list_round_trips(tmp_path):
+    """Zero rows write a valid (headerless) CSV and read back as []."""
+    path = str(tmp_path / "empty.csv")
+    write_csv(path, [])
+    assert read_csv(path) == []
+
+
+def test_csv_single_row_round_trips(tmp_path):
+    row = {"model": "gpt-125m", "nested": {"count": 3, "ratio": 0.25},
+           "flag": True}
+    path = str(tmp_path / "one.csv")
+    write_csv(path, [row])
+    assert read_csv(path) == [row]
+
+
+def test_policy_comparison_table_round_trips_through_csv(tmp_path):
+    """The policy/scenario identifier columns stay strings and the
+    metric columns stay numeric through a CSV write/read cycle."""
+    rows = [
+        {"policy": "fcfs", "scenario": "bursty", "requests": 8,
+         "completed": 8, "rejected": 0, "preemptions": 0,
+         "slo_requests": 3, "slo_attainment": 1.0,
+         "ttft_p95_s": 2.5, "output_tokens_per_s": 12.0,
+         "ttft_p95_vs_fcfs": 1.0},
+        {"policy": "priority", "scenario": "bursty", "requests": 8,
+         "completed": 8, "rejected": 0, "preemptions": 2,
+         "slo_requests": 3, "slo_attainment": 2 / 3,
+         "ttft_p95_s": 2.1, "output_tokens_per_s": 12.5,
+         "ttft_p95_vs_fcfs": 2.5 / 2.1},
+    ]
+    path = str(tmp_path / "policies.csv")
+    write_csv(path, rows)
+    back = read_csv(path)
+    assert back == rows
+    assert isinstance(back[0]["policy"], str)
+    assert isinstance(back[0]["scenario"], str)
+    assert isinstance(back[1]["preemptions"], int)
+    assert isinstance(back[1]["slo_attainment"], float)
+
+
+def test_policy_table_normalises_against_fcfs_per_scenario():
+    rows = [
+        {"policy": "fcfs", "scenario": "steady", "ttft_p95_s": 4.0},
+        {"policy": "sjf", "scenario": "steady", "ttft_p95_s": 2.0},
+        {"policy": "fcfs", "scenario": "bursty", "ttft_p95_s": 10.0},
+        {"policy": "chunked_prefill", "scenario": "bursty", "ttft_p95_s": 5.0},
+    ]
+    table = policy_table(rows)
+    speedups = {(r["policy"], r["scenario"]): r["ttft_p95_vs_fcfs"]
+                for r in table}
+    assert speedups[("sjf", "steady")] == pytest.approx(2.0)
+    assert speedups[("chunked_prefill", "bursty")] == pytest.approx(2.0)
+    assert speedups[("fcfs", "steady")] == pytest.approx(1.0)
 
 
 def test_json_round_trip(tmp_path):

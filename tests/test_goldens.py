@@ -1,0 +1,130 @@
+"""Golden regression fixtures: cost-model drift is caught at review time.
+
+Small JSON goldens are checked in under ``tests/goldens/``:
+
+* ``sweep_latency_table.json`` — the latency table of a tiny two-scheme
+  sweep, and
+* ``serving_<policy>.json`` — the flat serving summary of one fixed-seed
+  bursty trace per scheduling policy (the KV-starved deployment, so the
+  ``priority`` golden pins preemption counters too).
+
+Any change to kernel costs, the energy model, trace generation or
+scheduler behavior shifts these numbers; the diff shows up in the PR
+instead of silently changing figures.  After an *intentional* change,
+regenerate with::
+
+    PYTHONPATH=src python tests/test_goldens.py --update
+
+Floats are rounded to 10 significant digits before comparison, so the
+goldens are stable against float-summation noise while still pinning
+real cost changes.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.experiments.tables import latency_table
+from repro.serving import (
+    POLICIES,
+    ServingConfig,
+    TraceSpec,
+    generate_trace,
+    simulate_trace,
+    summary,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+ALL_POLICIES = sorted(POLICIES)
+
+SWEEP_SPEC = SweepSpec(
+    models=("gpt-125m",), schemes=("W1A3", "W4A4"), prefill_lens=(32,),
+    decode_tokens=8,
+)
+
+TRACE_SPEC = TraceSpec(
+    num_requests=12, seed=42, scenario="bursty", arrival_rate_per_s=0.003,
+    prompt_mean=96.0, prompt_sigma=0.8, prompt_max=512,
+    gen_mean=64.0, gen_max=512,
+    priority_weights=(0.3, 0.7), slo_ttft_s=(50.0, 500.0),
+)
+
+
+def _serving_config(policy: str) -> ServingConfig:
+    return ServingConfig(model="gpt-125m", num_ranks=1, dpus_per_rank=1,
+                         max_batch=16, policy=policy, prefill_chunk_tokens=16)
+
+
+def _rounded(value, digits: int = 10):
+    """Round every float in a nested JSON-ish structure to ``digits``
+    significant digits (ints and other scalars pass through)."""
+    if isinstance(value, float):
+        return float(f"{value:.{digits}g}")
+    if isinstance(value, dict):
+        return {k: _rounded(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_rounded(v, digits) for v in value]
+    return value
+
+
+def _build_sweep_golden():
+    return _rounded(latency_table(run_sweep(SWEEP_SPEC)))
+
+
+def _build_serving_golden(policy: str):
+    trace = generate_trace(TRACE_SPEC)
+    return _rounded(summary(simulate_trace(trace, _serving_config(policy))))
+
+
+def _golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, name)
+
+
+def _load(name: str):
+    path = _golden_path(name)
+    if not os.path.exists(path):
+        pytest.fail(
+            f"golden {name} is missing; regenerate with "
+            f"`PYTHONPATH=src python tests/test_goldens.py --update`"
+        )
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_sweep_latency_table_matches_golden():
+    assert _build_sweep_golden() == _load("sweep_latency_table.json")
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_serving_summary_matches_golden(policy):
+    assert _build_serving_golden(policy) == _load(f"serving_{policy}.json")
+
+
+def test_goldens_pin_distinct_policies():
+    """The checked-in fixtures themselves prove the policies diverge."""
+    summaries = {p: _load(f"serving_{p}.json") for p in ALL_POLICIES}
+    assert len({s["ttft_p95_s"] for s in summaries.values()}) >= 3
+    assert summaries["priority"]["preemptions"] > 0
+
+
+def _update() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    goldens = {"sweep_latency_table.json": _build_sweep_golden()}
+    for policy in ALL_POLICIES:
+        goldens[f"serving_{policy}.json"] = _build_serving_golden(policy)
+    for name, payload in goldens.items():
+        with open(_golden_path(name), "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {_golden_path(name)}")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(__doc__)
+        sys.exit(1)

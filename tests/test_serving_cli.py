@@ -56,6 +56,64 @@ def test_cli_rejects_bad_arguments(capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_cli_rejects_unknown_policy_with_clear_error(capsys):
+    assert main(["--model", "gpt-125m", "--policy", "edf", "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scheduling policy" in err and "'edf'" in err
+    # The error names the valid policies, not a raw traceback.
+    assert "fcfs" in err and "chunked_prefill" in err
+    assert "Traceback" not in err
+
+
+def test_cli_rejects_unknown_scenario_with_clear_error(capsys):
+    assert main(["--model", "gpt-125m", "--scenario", "weekly", "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err and "'weekly'" in err
+    assert "bursty" in err and "diurnal" in err
+    assert "Traceback" not in err
+
+
+def test_cli_rejects_bad_slo_and_tier_arguments(capsys):
+    assert main(["--model", "gpt-125m", "--tiers", "0", "--quiet"]) == 2
+    assert "--tiers" in capsys.readouterr().err
+    assert main(["--model", "gpt-125m", "--tiers", "2", "--slo-ttft", "1.0",
+                 "--quiet"]) == 2
+    assert "--slo-ttft" in capsys.readouterr().err
+    assert main(["--model", "gpt-125m", "--slo-ttft", "fast", "--quiet"]) == 2
+    assert "comma-separated" in capsys.readouterr().err
+
+
+def test_cli_policy_and_scenario_run(tmp_path):
+    out = str(tmp_path / "chunked.json")
+    code = main(["--model", "gpt-125m", "--requests", "6", "--ranks", "1",
+                 "--policy", "chunked_prefill", "--chunk-tokens", "8",
+                 "--scenario", "diurnal", "--prompt-mean", "48",
+                 "--gen-mean", "4", "--quiet", "--output", out])
+    assert code == 0
+    payload = read_json(out)
+    assert payload["summary"]["policy"] == "chunked_prefill"
+    assert payload["trace_spec"]["scenario"] == "diurnal"
+    assert payload["summary"]["completed"] == 6
+
+
+def test_cli_compare_emits_policy_table(tmp_path, capsys):
+    out = str(tmp_path / "compare.json")
+    code = main(["--model", "gpt-125m", "--requests", "8", "--ranks", "1",
+                 "--compare", "--prompt-mean", "32", "--gen-mean", "8",
+                 "--tiers", "2", "--slo-ttft", "100,1000",
+                 "--output", out])
+    assert code == 0
+    assert "Scheduling-policy comparison" in capsys.readouterr().out
+    payload = read_json(out)
+    comparison = payload["policy_comparison"]
+    assert [row["policy"] for row in comparison] == [
+        "chunked_prefill", "fcfs", "priority", "sjf"
+    ]
+    assert all(row["scenario"] == "steady" for row in comparison)
+    fcfs = next(row for row in comparison if row["policy"] == "fcfs")
+    assert fcfs["ttft_p95_vs_fcfs"] == 1.0
+
+
 def test_cli_zero_requests(tmp_path):
     out = str(tmp_path / "empty.json")
     assert main(["--model", "gpt-125m", "--requests", "0", "--quiet",

@@ -1,0 +1,279 @@
+"""Scheduling policies: registry, ordering, preemption, chunked prefill
+and the policy-comparison table."""
+
+import pytest
+
+from repro.experiments.tables import policy_table
+from repro.model import SchemePolicy, get_model_config
+from repro.model.cost import model_inference_cost, prefill_chunk_stats
+from repro.pim.upmem import UpmemConfig, UpmemSystem
+from repro.serving import (
+    POLICIES,
+    ChunkedPrefillPolicy,
+    Request,
+    ServingConfig,
+    TraceSpec,
+    generate_trace,
+    get_policy,
+    simulate_trace,
+    summary,
+)
+
+ALL_POLICIES = sorted(POLICIES)
+
+
+def _config(policy, **kwargs):
+    base = dict(model="gpt-125m", num_ranks=1, max_batch=4, policy=policy)
+    base.update(kwargs)
+    return ServingConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# registry and configuration
+# ---------------------------------------------------------------------------
+
+def test_registry_names_and_get_policy():
+    assert set(POLICIES) == {"fcfs", "sjf", "priority", "chunked_prefill"}
+    for name, cls in POLICIES.items():
+        assert cls.name == name
+        assert get_policy(name).name == name
+
+
+def test_get_policy_rejects_unknown_and_bad_options():
+    with pytest.raises(ValueError, match="unknown scheduling policy"):
+        get_policy("round_robin")
+    with pytest.raises(ValueError, match="chunk_tokens"):
+        get_policy("chunked_prefill", chunk_tokens=0)
+    with pytest.raises(ValueError, match="accepts no options"):
+        get_policy("fcfs", chunk_tokens=8)
+
+
+def test_serving_config_validates_policy():
+    with pytest.raises(ValueError, match="unknown scheduling policy"):
+        ServingConfig(policy="edf")
+    with pytest.raises(ValueError, match="prefill_chunk_tokens"):
+        ServingConfig(policy="chunked_prefill", prefill_chunk_tokens=0)
+    config = ServingConfig(policy="chunked_prefill", prefill_chunk_tokens=16)
+    instance = config.make_policy()
+    assert isinstance(instance, ChunkedPrefillPolicy)
+    assert instance.chunk_tokens == 16
+
+
+# ---------------------------------------------------------------------------
+# FCFS extraction: identical to the pre-policy scheduler behavior
+# ---------------------------------------------------------------------------
+
+def test_fcfs_single_request_matches_model_inference_cost():
+    trace = [Request(req_id=0, arrival_s=0.5, prompt_tokens=16, gen_tokens=4)]
+    result = simulate_trace(trace, _config("fcfs"))
+    (rec,) = result.records
+    cost = model_inference_cost(
+        get_model_config("gpt-125m"), SchemePolicy("W1A3"), batch=1,
+        prefill_tokens=16, decode_tokens=4,
+        system=UpmemSystem(UpmemConfig(num_ranks=1)),
+    )
+    assert rec.status == "completed"
+    assert rec.latency_s == pytest.approx(cost.total_s, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# SJF: shortest predicted decode goes first
+# ---------------------------------------------------------------------------
+
+def test_sjf_admits_short_job_ahead_of_earlier_long_one():
+    # Both requests are waiting when the batch slot frees: with a
+    # max_batch of 1 the occupant must finish first, then SJF picks the
+    # shorter job even though the longer one arrived earlier.
+    trace = [
+        Request(req_id=0, arrival_s=0.0, prompt_tokens=8, gen_tokens=32),
+        Request(req_id=1, arrival_s=0.1, prompt_tokens=8, gen_tokens=64),
+        Request(req_id=2, arrival_s=0.2, prompt_tokens=8, gen_tokens=2),
+    ]
+    fcfs = simulate_trace(trace, _config("fcfs", max_batch=1))
+    sjf = simulate_trace(trace, _config("sjf", max_batch=1))
+    fcfs_by_id = {r.req_id: r for r in fcfs.records}
+    sjf_by_id = {r.req_id: r for r in sjf.records}
+    # FCFS serves in arrival order; SJF swaps requests 1 and 2.
+    assert fcfs_by_id[1].admit_s < fcfs_by_id[2].admit_s
+    assert sjf_by_id[2].admit_s < sjf_by_id[1].admit_s
+    assert sjf_by_id[2].ttft_s < fcfs_by_id[2].ttft_s
+
+
+# ---------------------------------------------------------------------------
+# priority: tiers, deadlines, KV-pressure preemption
+# ---------------------------------------------------------------------------
+
+def _kv_pressure_setup():
+    """Config whose replica holds ~3 medium requests' KV, plus a probe."""
+    model = get_model_config("gpt-125m")
+    config = _config("priority", max_batch=16, dpus_per_rank=2)
+    capacity = simulate_trace([], config).kv_capacity_bytes
+    seq = capacity // model.kv_cache_bytes(1, 1)
+    lo_len = seq // 3
+    return config, capacity, lo_len
+
+
+def test_priority_preempts_lower_tier_for_kv_space():
+    config, capacity, lo_len = _kv_pressure_setup()
+    trace = [
+        Request(req_id=i, arrival_s=0.0, prompt_tokens=8,
+                gen_tokens=lo_len - 8, priority=2)
+        for i in range(3)
+    ]
+    trace.append(
+        Request(req_id=3, arrival_s=5.0, prompt_tokens=8, gen_tokens=lo_len,
+                priority=0, slo_ttft_s=1e6)
+    )
+    result = simulate_trace(trace, config)
+    by_id = {r.req_id: r for r in result.records}
+    assert all(r.status == "completed" for r in result.records)
+    # The tier-0 arrival forced evictions among the tier-2 occupants...
+    assert result.preemptions >= 1
+    assert sum(r.preemptions for r in result.records) == result.preemptions
+    assert by_id[3].preemptions == 0
+    # ...and was admitted long before the occupants' natural finish.
+    assert by_id[3].admit_s < min(
+        by_id[i].finish_s for i in range(3) if by_id[i].preemptions == 0
+    )
+    # Victims re-queued, recomputed their prefix, and still completed.
+    stats = result.rank_stats[0]
+    assert stats.requeues == stats.preemptions >= 1
+    assert stats.recompute_tokens >= stats.requeues * 8
+    assert stats.kv_peak_bytes <= result.kv_capacity_bytes
+
+
+def test_priority_never_preempts_equal_or_higher_tier():
+    config, capacity, lo_len = _kv_pressure_setup()
+    trace = [
+        Request(req_id=i, arrival_s=0.0, prompt_tokens=8,
+                gen_tokens=lo_len - 8, priority=1)
+        for i in range(3)
+    ] + [
+        Request(req_id=3, arrival_s=5.0, prompt_tokens=8, gen_tokens=lo_len,
+                priority=1)
+    ]
+    result = simulate_trace(trace, config)
+    assert result.preemptions == 0
+    assert all(r.status == "completed" for r in result.records)
+
+
+def test_priority_orders_by_tier_then_deadline():
+    # Three requests queued behind a batch=1 occupant: the tier-0 one is
+    # served first; within tier 1 the tighter SLO deadline wins.
+    trace = [
+        Request(req_id=0, arrival_s=0.0, prompt_tokens=8, gen_tokens=32),
+        Request(req_id=1, arrival_s=0.1, prompt_tokens=8, gen_tokens=8,
+                priority=1, slo_ttft_s=50.0),
+        Request(req_id=2, arrival_s=0.2, prompt_tokens=8, gen_tokens=8,
+                priority=1, slo_ttft_s=10.0),
+        Request(req_id=3, arrival_s=0.3, prompt_tokens=8, gen_tokens=8,
+                priority=0),
+    ]
+    result = simulate_trace(trace, _config("priority", max_batch=1))
+    by_id = {r.req_id: r for r in result.records}
+    assert by_id[3].admit_s < by_id[2].admit_s < by_id[1].admit_s
+
+
+# ---------------------------------------------------------------------------
+# chunked prefill: decode is not starved by long prompts
+# ---------------------------------------------------------------------------
+
+def test_chunked_prefill_interleaves_decode_with_long_prompt():
+    # A decoding request is mid-flight when a very long prompt arrives.
+    # Under FCFS the whole prefill runs before the next decode step;
+    # chunking bounds the decode gap, so the short request finishes
+    # earlier and the long one still completes.
+    trace = [
+        Request(req_id=0, arrival_s=0.0, prompt_tokens=8, gen_tokens=48),
+        Request(req_id=1, arrival_s=0.5, prompt_tokens=512, gen_tokens=4),
+    ]
+    fcfs = simulate_trace(trace, _config("fcfs"))
+    chunked = simulate_trace(
+        trace, _config("chunked_prefill", prefill_chunk_tokens=32)
+    )
+    assert all(r.status == "completed" for r in chunked.records)
+    fcfs_short = next(r for r in fcfs.records if r.req_id == 0)
+    chunked_short = next(r for r in chunked.records if r.req_id == 0)
+    assert chunked_short.finish_s < fcfs_short.finish_s
+    # Chunked prefill accounts the same number of prompt tokens.
+    assert chunked.prefill_tokens == fcfs.prefill_tokens == 8 + 512
+
+
+def test_prefill_chunk_stats_matches_prefill_phase_for_one_chunk():
+    config = get_model_config("gpt-125m")
+    policy = SchemePolicy("W1A3")
+    system = UpmemSystem(UpmemConfig(num_ranks=1))
+    whole = model_inference_cost(
+        config, policy, batch=1, prefill_tokens=64, decode_tokens=0,
+        system=system,
+    ).prefill.stats
+    chunk = prefill_chunk_stats(config, policy, 1, 0, 64, system=system)
+    assert chunk.allclose(whole)
+
+
+def test_prefill_chunk_stats_validation():
+    config = get_model_config("gpt-125m")
+    policy = SchemePolicy("W1A3")
+    with pytest.raises(ValueError, match="chunk_tokens"):
+        prefill_chunk_stats(config, policy, 1, 0, 0)
+    with pytest.raises(ValueError, match="done_tokens"):
+        prefill_chunk_stats(config, policy, 1, -1, 8)
+
+
+def test_chunked_prefill_total_work_not_more_than_one_shot():
+    """Each chunk attends only to the prefix cached so far, so chunking
+    never costs more than the one-shot prefill's full-length attention."""
+    config = get_model_config("gpt-125m")
+    policy = SchemePolicy("W1A3")
+    system = UpmemSystem(UpmemConfig(num_ranks=1))
+    one_shot = prefill_chunk_stats(config, policy, 1, 0, 128, system=system)
+    chunks = sum(
+        prefill_chunk_stats(config, policy, 1, done, 32, system=system).total_s
+        for done in range(0, 128, 32)
+    )
+    assert chunks <= one_shot.total_s
+
+
+# ---------------------------------------------------------------------------
+# the acceptance experiment: policies measurably differ on one trace
+# ---------------------------------------------------------------------------
+
+def test_policies_differ_measurably_on_fixed_trace():
+    spec = TraceSpec(
+        num_requests=32, seed=7, scenario="bursty", arrival_rate_per_s=1.0,
+        prompt_mean=256.0, prompt_sigma=0.8, prompt_max=1024,
+        gen_mean=32.0, gen_max=128,
+        priority_weights=(0.25, 0.75), slo_ttft_s=(300.0, 3000.0),
+    )
+    trace = generate_trace(spec)
+    summaries = []
+    for name in ALL_POLICIES:
+        config = ServingConfig(model="gpt-125m", num_ranks=1, max_batch=8,
+                               policy=name, prefill_chunk_tokens=32)
+        row = summary(simulate_trace(trace, config))
+        row["scenario"] = spec.scenario
+        summaries.append(row)
+    table = policy_table(summaries)
+    assert [row["policy"] for row in table] == ALL_POLICIES
+    # Same trace, same deployment: nothing is dropped by any policy...
+    assert len({row["completed"] for row in table}) == 1
+    # ...but the latency/SLO frontier moves measurably across policies.
+    ttfts = {row["policy"]: row["ttft_p95_s"] for row in table}
+    slos = {row["policy"]: row["slo_attainment"] for row in table}
+    distinct = {
+        (round(ttfts[p], 6), round(slos[p], 6)) for p in ALL_POLICIES
+    }
+    assert len(distinct) >= 3, (ttfts, slos)
+    assert ttfts["chunked_prefill"] != ttfts["fcfs"]
+    fcfs_row = next(row for row in table if row["policy"] == "fcfs")
+    assert fcfs_row["ttft_p95_vs_fcfs"] == pytest.approx(1.0)
+    for row in table:
+        assert row["ttft_p95_vs_fcfs"] > 0
+
+
+def test_policy_table_without_fcfs_baseline():
+    rows = [{"policy": "sjf", "scenario": "steady", "ttft_p95_s": 2.0,
+             "completed": 4}]
+    (entry,) = policy_table(rows)
+    assert entry["ttft_p95_vs_fcfs"] == 0.0
+    assert entry["completed"] == 4

@@ -56,5 +56,109 @@ def test_empty_trace_and_validation():
 
 
 def test_trace_rows_round_trip():
-    trace = generate_trace(TraceSpec(num_requests=10, seed=5))
+    trace = generate_trace(TraceSpec(num_requests=10, seed=5,
+                                     priority_weights=(0.5, 0.5),
+                                     slo_ttft_s=(1.0, 10.0)))
     assert rows_to_trace(trace_rows(trace)) == trace
+
+
+def test_rows_without_priority_fields_still_load():
+    rows = [{"req_id": 0, "arrival_s": 0.5, "prompt_tokens": 4,
+             "gen_tokens": 2}]
+    (req,) = rows_to_trace(rows)
+    assert req.priority == 0
+    assert req.slo_ttft_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# arrival scenarios
+# ---------------------------------------------------------------------------
+
+def test_all_scenarios_deterministic_sorted_and_positive():
+    from repro.serving import SCENARIOS
+    assert SCENARIOS == ("steady", "bursty", "diurnal")
+    for scenario in SCENARIOS:
+        spec = TraceSpec(num_requests=64, scenario=scenario, seed=11)
+        trace = generate_trace(spec)
+        assert trace == generate_trace(spec)
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+        assert len(trace) == 64
+
+
+def test_scenarios_share_length_distribution_but_not_arrivals():
+    """Same seed: lengths are drawn after arrivals from the same stream
+    count, so steady vs bursty differ only in arrival times."""
+    steady = generate_trace(TraceSpec(num_requests=32, seed=5))
+    bursty = generate_trace(TraceSpec(num_requests=32, seed=5,
+                                      scenario="bursty"))
+    assert [r.arrival_s for r in steady] != [r.arrival_s for r in bursty]
+
+
+def test_bursty_arrivals_are_burstier_than_steady():
+    """The MMPP's inter-arrival gaps have a higher coefficient of
+    variation than the steady Poisson process (CV 1 for exponential)."""
+    import statistics
+
+    def cv_of_gaps(trace):
+        arrivals = [r.arrival_s for r in trace]
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        return statistics.pstdev(gaps) / statistics.mean(gaps)
+
+    steady = generate_trace(TraceSpec(num_requests=500, seed=2))
+    bursty = generate_trace(TraceSpec(num_requests=500, seed=2,
+                                      scenario="bursty",
+                                      burst_rate_multiplier=10.0))
+    assert cv_of_gaps(bursty) > cv_of_gaps(steady)
+
+
+def test_diurnal_rate_tracks_the_cycle():
+    """More arrivals land in the high-rate half of the cycle."""
+    import math
+    spec = TraceSpec(num_requests=1000, scenario="diurnal",
+                     diurnal_period_s=40.0, diurnal_amplitude=1.0, seed=8)
+    trace = generate_trace(spec)
+    phase = [math.sin(2 * math.pi * r.arrival_s / 40.0) for r in trace]
+    high = sum(p > 0 for p in phase)
+    assert high > 0.65 * len(trace)
+
+
+def test_priority_tiers_and_slos_assigned():
+    spec = TraceSpec(num_requests=400, seed=3,
+                     priority_weights=(0.25, 0.75),
+                     slo_ttft_s=(2.0, 20.0))
+    trace = generate_trace(spec)
+    tiers = {r.priority for r in trace}
+    assert tiers == {0, 1}
+    share0 = sum(r.priority == 0 for r in trace) / len(trace)
+    assert 0.15 < share0 < 0.35
+    assert all(r.slo_ttft_s == (2.0, 20.0)[r.priority] for r in trace)
+
+
+def test_default_trace_has_single_tier_and_no_slo():
+    trace = generate_trace(TraceSpec(num_requests=8, seed=1))
+    assert all(r.priority == 0 and r.slo_ttft_s == 0.0 for r in trace)
+
+
+def test_scenario_and_priority_validation():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        TraceSpec(scenario="weekly")
+    with pytest.raises(ValueError, match="burst_rate_multiplier"):
+        TraceSpec(burst_rate_multiplier=0.0)
+    with pytest.raises(ValueError, match="burst_dwell_s"):
+        TraceSpec(burst_dwell_s=0.0)
+    with pytest.raises(ValueError, match="diurnal_amplitude"):
+        TraceSpec(diurnal_amplitude=1.5)
+    with pytest.raises(ValueError, match="priority_weights"):
+        TraceSpec(priority_weights=())
+    with pytest.raises(ValueError, match="priority_weights"):
+        TraceSpec(priority_weights=(1.0, -1.0))
+    with pytest.raises(ValueError, match="slo_ttft_s"):
+        TraceSpec(priority_weights=(0.5, 0.5), slo_ttft_s=(1.0,))
+    with pytest.raises(ValueError, match="priority"):
+        Request(req_id=0, arrival_s=0.0, prompt_tokens=1, gen_tokens=1,
+                priority=-1)
+    with pytest.raises(ValueError, match="slo_ttft_s"):
+        Request(req_id=0, arrival_s=0.0, prompt_tokens=1, gen_tokens=1,
+                slo_ttft_s=-2.0)

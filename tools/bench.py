@@ -2,17 +2,21 @@
 """Performance benchmark: sweep and trace-simulation wall-clock.
 
 Seeds the repo's performance trajectory: runs (a) a model-level sweep,
-(b) the decode cost in both aggregation modes (loop vs closed form) and
-(c) a 1000-request serving trace on gpt-1.3b, then writes the
-wall-clock numbers and simulated throughput to ``BENCH_serving.json``.
+(b) the decode cost in both aggregation modes (loop vs closed form),
+(c) a 1000-request serving trace on gpt-1.3b and (d) the four
+scheduling policies on a bursty long-prefill trace, then writes the
+wall-clock numbers, simulated throughput and the policy-comparison
+table to ``BENCH_serving.json``.
 
 Usage::
 
     PYTHONPATH=src python tools/bench.py [--output BENCH_serving.json] [--check]
 
 ``--check`` exits non-zero if the trace simulation misses its
-wall-clock budget (10 s for 1000 requests), so CI catches performance
-regressions on the serving path.
+wall-clock budget (10 s for 1000 requests), or if the chunked-prefill
+policy stops beating FCFS p95 TTFT on the bursty long-prefill scenario
+(or drops completed requests), so CI catches both performance and
+scheduling-quality regressions on the serving path.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import time
 TRACE_REQUESTS = 1000
 TRACE_BUDGET_S = 10.0
 DECODE_TOKENS = 256
+POLICY_REQUESTS = 200
 
 
 def _timed(fn):
@@ -91,6 +96,54 @@ def bench_serving() -> dict:
     }
 
 
+def bench_policies() -> dict:
+    """All scheduling policies on one bursty long-prefill trace.
+
+    The scenario is sized so prefills dominate (long log-normal prompts,
+    short generations) and arrivals come in MMPP bursts — the regime
+    where chunked prefill's decode interleaving pays off in tail TTFT.
+    """
+    from repro.experiments.tables import policy_table
+    from repro.serving import (
+        POLICIES, ServingConfig, TraceSpec, generate_trace, simulate_trace,
+        summary,
+    )
+
+    spec = TraceSpec(
+        num_requests=POLICY_REQUESTS, seed=0, scenario="bursty",
+        arrival_rate_per_s=1.0, burst_rate_multiplier=10.0,
+        burst_dwell_s=4.0, calm_dwell_s=12.0,
+        prompt_mean=448.0, prompt_sigma=0.8, prompt_max=1024,
+        gen_mean=32.0, gen_max=128,
+        priority_weights=(0.2, 0.8), slo_ttft_s=(600.0, 3600.0),
+    )
+    trace = generate_trace(spec)
+    summaries = []
+    walls = {}
+    for name in sorted(POLICIES):
+        config = ServingConfig(model="gpt-350m", num_ranks=4, max_batch=16,
+                               policy=name, prefill_chunk_tokens=32)
+        result, wall = _timed(lambda: simulate_trace(trace, config))
+        walls[name] = wall
+        row = summary(result)
+        row["scenario"] = spec.scenario
+        summaries.append(row)
+    table = policy_table(summaries)
+    by_policy = {row["policy"]: row for row in table}
+    fcfs, chunked = by_policy["fcfs"], by_policy["chunked_prefill"]
+    return {
+        "requests": POLICY_REQUESTS,
+        "scenario": spec.scenario,
+        "wall_s": walls,
+        "table": table,
+        "chunked_vs_fcfs_ttft_p95_speedup": (
+            fcfs["ttft_p95_s"] / chunked["ttft_p95_s"]
+            if chunked["ttft_p95_s"] else 0.0
+        ),
+        "chunked_completed_delta": chunked["completed"] - fcfs["completed"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_serving.json", metavar="PATH")
@@ -102,6 +155,7 @@ def main(argv=None) -> int:
         "sweep": bench_sweep(),
         "decode": bench_decode_methods(),
         "serving": bench_serving(),
+        "policies": bench_policies(),
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -109,6 +163,7 @@ def main(argv=None) -> int:
 
     serving = payload["serving"]
     decode = payload["decode"]
+    policies = payload["policies"]
     print(f"sweep: {payload['sweep']['wall_s']:.3f} s "
           f"({payload['sweep']['grid_points']} point(s))")
     print(f"decode closed-form: {decode['closed_form_wall_s']*1e3:.1f} ms "
@@ -116,15 +171,34 @@ def main(argv=None) -> int:
           f"({decode['speedup']:.1f}x)")
     print(f"serving: {serving['requests']} requests in {serving['wall_s']:.3f} s "
           f"wall ({serving['simulated_tokens_per_s']:.1f} simulated tok/s)")
+    print(f"policies ({policies['scenario']} long-prefill): chunked_prefill "
+          f"p95 TTFT {policies['chunked_vs_fcfs_ttft_p95_speedup']:.3f}x vs fcfs")
     print(f"wrote {args.output}")
 
-    if args.check and serving["wall_s"] > TRACE_BUDGET_S:
-        print(
-            f"FAIL: {serving['requests']}-request trace took "
-            f"{serving['wall_s']:.2f} s (> {TRACE_BUDGET_S} s budget)",
-            file=sys.stderr,
-        )
-        return 1
+    if args.check:
+        if serving["wall_s"] > TRACE_BUDGET_S:
+            print(
+                f"FAIL: {serving['requests']}-request trace took "
+                f"{serving['wall_s']:.2f} s (> {TRACE_BUDGET_S} s budget)",
+                file=sys.stderr,
+            )
+            return 1
+        if policies["chunked_vs_fcfs_ttft_p95_speedup"] < 1.0:
+            print(
+                f"FAIL: chunked_prefill p95 TTFT is "
+                f"{policies['chunked_vs_fcfs_ttft_p95_speedup']:.3f}x fcfs "
+                f"(expected >= 1.0) on the bursty long-prefill scenario",
+                file=sys.stderr,
+            )
+            return 1
+        if policies["chunked_completed_delta"] < 0:
+            print(
+                f"FAIL: chunked_prefill dropped "
+                f"{-policies['chunked_completed_delta']} completed request(s) "
+                f"vs fcfs",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
