@@ -93,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
              "reference step-by-step loop",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the grid (1 = sequential; rows keep "
+             "the deterministic grid order either way)",
+    )
+    parser.add_argument(
         "--output", default=None, metavar="PATH",
         help="write results to PATH (.csv writes flattened CSV, anything else JSON)",
     )
@@ -141,7 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_ranks=tuple(args.ranks),
             decode_method=args.decode_method,
         )
-        rows = run_sweep(spec)
+        rows = run_sweep(spec, workers=args.workers)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -49,7 +49,7 @@ __all__ = [
 #: drivers.  Everything else is treated as a numeric/boolean column.
 DEFAULT_STRING_COLUMNS: FrozenSet[str] = frozenset(
     {"model", "scheme", "kernel", "status", "error", "phase", "scope",
-     "policy", "scenario"}
+     "policy", "scenario", "engine"}
 )
 
 _INT_RE = re.compile(r"[+-]?\d+")

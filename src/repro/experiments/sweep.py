@@ -148,7 +148,36 @@ def _phase_dict(phase) -> Dict[str, object]:
     }
 
 
-def run_sweep(spec: SweepSpec) -> List[dict]:
+def _grid_points(spec: SweepSpec) -> List[Tuple[str, int, str, str, int, int]]:
+    """The cross product in canonical row order (models outermost)."""
+    return [
+        (model_name, num_ranks, scheme_name, kernel, batch, prefill)
+        for model_name in spec.models
+        for num_ranks in spec.num_ranks
+        for scheme_name in spec.schemes
+        for kernel in spec.kernels
+        for batch in spec.batch_sizes
+        for prefill in spec.prefill_lens
+    ]
+
+
+def _run_point_task(task: Tuple[Tuple[str, int, str, str, int, int], int, str]) -> dict:
+    """Cost one serialised grid point (the worker-process entry point).
+
+    Rebuilds the model config / system / policy objects from primitives
+    so the task pickles cheaply; the result row is identical to the
+    sequential path's (the underlying cost functions are deterministic
+    and shape-only).
+    """
+    (model_name, num_ranks, scheme_name, kernel, batch, prefill), decode_tokens, decode_method = task
+    return _run_point(
+        get_model_config(model_name), model_name, SchemePolicy(scheme_name),
+        scheme_name, kernel, batch, prefill, decode_tokens, num_ranks,
+        UpmemSystem(UpmemConfig(num_ranks=num_ranks)), decode_method,
+    )
+
+
+def run_sweep(spec: SweepSpec, workers: int = 1) -> List[dict]:
     """Execute the grid and return one row dict per point.
 
     Row layout (``status == "ok"``)::
@@ -163,24 +192,40 @@ def run_sweep(spec: SweepSpec) -> List[dict]:
 
     Unsupported points carry ``status="unsupported"`` plus ``error`` and
     omit the phase dicts.
+
+    ``workers > 1`` fans the grid points out over a process pool
+    (``concurrent.futures.ProcessPoolExecutor``); rows come back in the
+    same deterministic grid order as the sequential path, each worker
+    warming its own memoised cost tables.  Parallelism pays off for
+    multi-model / multi-scheme grids; tiny grids are faster sequential.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    points = _grid_points(spec)
+    if workers > 1 and len(points) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(p, spec.decode_tokens, spec.decode_method) for p in points]
+        with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
+            return list(pool.map(_run_point_task, tasks))
     rows: List[dict] = []
-    for model_name in spec.models:
-        config = get_model_config(model_name)
-        for num_ranks in spec.num_ranks:
-            system = UpmemSystem(UpmemConfig(num_ranks=num_ranks))
-            for scheme_name in spec.schemes:
-                policy = SchemePolicy(scheme_name)
-                for kernel in spec.kernels:
-                    for batch in spec.batch_sizes:
-                        for prefill in spec.prefill_lens:
-                            rows.append(
-                                _run_point(
-                                    config, model_name, policy, scheme_name,
-                                    kernel, batch, prefill, spec.decode_tokens,
-                                    num_ranks, system, spec.decode_method,
-                                )
-                            )
+    configs = {name: get_model_config(name) for name in spec.models}
+    systems = {
+        ranks: UpmemSystem(UpmemConfig(num_ranks=ranks))
+        for ranks in spec.num_ranks
+    }
+    policies = {name: SchemePolicy(name) for name in spec.schemes}
+    for model_name, num_ranks, scheme_name, kernel, batch, prefill in points:
+        config = configs[model_name]
+        system = systems[num_ranks]
+        policy = policies[scheme_name]
+        rows.append(
+            _run_point(
+                config, model_name, policy, scheme_name, kernel, batch,
+                prefill, spec.decode_tokens, num_ranks, system,
+                spec.decode_method,
+            )
+        )
     return rows
 
 

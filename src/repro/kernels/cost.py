@@ -23,7 +23,6 @@ True
 
 from __future__ import annotations
 
-from dataclasses import replace
 from functools import lru_cache
 from typing import Iterable, Tuple, Union
 
@@ -65,7 +64,7 @@ def _dummy_operands(scheme: QuantScheme) -> tuple[QuantizedTensor, QuantizedTens
     return a, w
 
 
-@lru_cache(maxsize=4096)
+@lru_cache(maxsize=65536)
 def _cached_cost(
     scheme: QuantScheme, m: int, k: int, n: int, kernel: str, config: UpmemConfig
 ) -> ExecutionStats:
@@ -147,10 +146,9 @@ def gemm_cost(
         raise ValueError(f"GEMM dimensions must be non-negative, got {(m, k, n)}")
     resolved = resolve_scheme(scheme)
     config = system.config if system is not None else UpmemConfig()
-    stats = _cached_cost(resolved, m, k, n, kernel, config)
     # Stats are mutable; hand each caller an independent copy of the
     # cached instance so sweeps cannot corrupt one another.
-    return replace(stats)
+    return _cached_cost(resolved, m, k, n, kernel, config).copy()
 
 
 def _floor_sum(n: int, m: int, a: int, b: int) -> int:
@@ -225,7 +223,7 @@ def _finish_naive_sum(
     return stats
 
 
-@lru_cache(maxsize=4096)
+@lru_cache(maxsize=65536)
 def _cached_naive_sum_n(
     scheme: QuantScheme, m: int, k: int, lo: int, hi: int, config: UpmemConfig
 ) -> ExecutionStats:
@@ -277,7 +275,7 @@ def _cached_naive_sum_n(
     )
 
 
-@lru_cache(maxsize=4096)
+@lru_cache(maxsize=65536)
 def _cached_naive_sum_k(
     scheme: QuantScheme, m: int, n: int, lo: int, hi: int, config: UpmemConfig
 ) -> ExecutionStats:
@@ -346,7 +344,7 @@ def naive_gemm_cost_sum_n(
     resolved = resolve_scheme(scheme)
     _check_naive_codecs(resolved.activation_codec, resolved.weight_codec)
     config = system.config if system is not None else UpmemConfig()
-    return replace(_cached_naive_sum_n(resolved, m, k, n_lo, n_hi, config))
+    return _cached_naive_sum_n(resolved, m, k, n_lo, n_hi, config).copy()
 
 
 def naive_gemm_cost_sum_k(
@@ -368,7 +366,7 @@ def naive_gemm_cost_sum_k(
     resolved = resolve_scheme(scheme)
     _check_naive_codecs(resolved.activation_codec, resolved.weight_codec)
     config = system.config if system is not None else UpmemConfig()
-    return replace(_cached_naive_sum_k(resolved, m, n, k_lo, k_hi, config))
+    return _cached_naive_sum_k(resolved, m, n, k_lo, k_hi, config).copy()
 
 
 def batch_gemm_cost(

@@ -35,6 +35,7 @@ from repro.model.cost import (
     InferenceCost,
     PhaseCost,
     block_gemm_cost,
+    decode_segment_stats,
     model_inference_cost,
     policy_weight_bytes,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "InferenceCost",
     "PhaseCost",
     "block_gemm_cost",
+    "decode_segment_stats",
     "model_inference_cost",
     "policy_weight_bytes",
 ]

@@ -35,7 +35,7 @@ tested field by field.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.kernels.cost import (
     gemm_cost,
@@ -55,11 +55,24 @@ __all__ = [
     "block_gemm_cost",
     "decode_attention_stats_sum",
     "decode_phase_stats",
+    "decode_segment_stats",
     "decode_step_weight_stats",
     "model_inference_cost",
     "policy_weight_bytes",
     "prefill_chunk_stats",
 ]
+
+
+def _layers_identical(policy: SchemePolicy) -> bool:
+    """True when every decoder layer resolves to the same schemes.
+
+    Projection overrides apply uniformly to all layers, so only
+    *layer* overrides can make blocks differ; without them, one block's
+    stats can be scaled by ``num_layers`` instead of re-summed per
+    layer (exact counts, float-rounding-equivalent latencies — see
+    :meth:`~repro.pim.upmem.ExecutionStats.scaled`).
+    """
+    return not policy.layer_overrides
 
 #: Decode-phase aggregation strategies accepted by
 #: :func:`model_inference_cost` / :func:`decode_phase_stats`.
@@ -200,15 +213,20 @@ def decode_step_weight_stats(
     so every weight GEMM sees ``M = batch`` rows regardless of how far
     generation has progressed — these stats are constant across decode
     steps, which is what makes the closed-form decode aggregation (and
-    the serving simulator's per-iteration costing) possible.
+    the serving simulator's per-iteration costing) possible.  With no
+    per-layer scheme overrides, one layer's GEMMs are costed once and
+    scaled by ``num_layers``.
     """
     total = ExecutionStats(kernel="decode")
     shapes = config.projection_shapes()
-    for layer in range(config.num_layers):
+    layers = range(1) if _layers_identical(policy) else range(config.num_layers)
+    for layer in layers:
         for name in shapes:
             k, n = shapes[name]
             scheme = policy.scheme_for(layer, name)
             total = total + gemm_cost(scheme, batch, k, n, system=system, kernel=kernel)
+    if _layers_identical(policy):
+        total = total.scaled(config.num_layers)
     return total
 
 
@@ -231,13 +249,20 @@ def prefill_chunk_stats(
     of :func:`model_inference_cost`.  Chunking attends each query only
     to the prefix cached so far — slightly *less* attention work than
     the one-shot prefill, which costs every query against the full
-    prompt length.
+    prompt length.  With no per-layer scheme overrides, one block is
+    costed and scaled by ``num_layers``.
     """
     if chunk_tokens < 1:
         raise ValueError(f"chunk_tokens must be >= 1, got {chunk_tokens}")
     if done_tokens < 0:
         raise ValueError(f"done_tokens must be >= 0, got {done_tokens}")
     total = ExecutionStats(kernel="prefill_chunk")
+    if _layers_identical(policy):
+        block, _ = block_gemm_cost(
+            config, policy, 0, batch, chunk_tokens,
+            done_tokens + chunk_tokens, system=system, kernel=kernel,
+        )
+        return total + block.scaled(config.num_layers)
     for layer in range(config.num_layers):
         block, _ = block_gemm_cost(
             config, policy, layer, batch, chunk_tokens,
@@ -274,6 +299,51 @@ def decode_attention_stats_sum(
         ATTENTION_SCHEME, m, config.head_dim, kv_lo, kv_hi, system=system
     )
     return scores + values
+
+
+def decode_segment_stats(
+    config: ModelConfig,
+    policy: SchemePolicy,
+    kv_lens: Sequence[int],
+    tokens: int,
+    system: Optional[UpmemSystem] = None,
+    kernel: str = "lut_gemm",
+) -> ExecutionStats:
+    """Closed-form cost of a whole multi-token decode *segment*.
+
+    Advances a batch of sequences by ``tokens`` decode steps in one
+    analytical evaluation: ``kv_lens[i]`` is sequence ``i``'s cached KV
+    positions entering the segment, so step ``t`` (0-based) costs the
+    weight GEMMs once at ``M = len(kv_lens)`` rows plus each sequence's
+    two attention matmuls at ``kv_lens[i] + t + 1``.  This is the
+    aggregation the event-driven serving engine
+    (:mod:`repro.serving.scheduler`) uses between scheduler events,
+    where the batch composition is constant: the weight stats scale by
+    ``tokens`` and each sequence's attention growth collapses to the
+    exact series of :func:`decode_attention_stats_sum`.
+
+    Equivalent (counts exact, latencies to float rounding) to running
+    ``tokens`` iterations of the per-token reference loop over the same
+    batch.  Unlike :func:`decode_phase_stats`, each sequence attends
+    with its *own* separate GEMM pair (``M = num_heads``), matching the
+    serving engine's per-request attention accounting.
+    """
+    if tokens < 0:
+        raise ValueError(f"tokens must be non-negative, got {tokens}")
+    for kv in kv_lens:
+        if kv < 0:
+            raise ValueError(f"kv_lens must be non-negative, got {kv}")
+    stats = ExecutionStats(kernel="decode")
+    if tokens == 0 or not kv_lens:
+        return stats
+    stats = stats + decode_step_weight_stats(
+        config, policy, len(kv_lens), system=system, kernel=kernel
+    ).scaled(tokens)
+    for kv in kv_lens:
+        stats = stats + decode_attention_stats_sum(
+            config, 1, kv + 1, kv + tokens, system=system
+        ).scaled(config.num_layers)
+    return stats
 
 
 def decode_phase_stats(
@@ -369,14 +439,21 @@ def model_inference_cost(
 
     prefill_stats = ExecutionStats(kernel="prefill")
     per_projection: Dict[str, ExecutionStats] = {}
-    for layer in range(config.num_layers):
-        block, per_gemm = block_gemm_cost(
-            config, policy, layer, batch, prefill_tokens, prefill_tokens,
+    if _layers_identical(policy):
+        block, per_projection = block_gemm_cost(
+            config, policy, 0, batch, prefill_tokens, prefill_tokens,
             system=system, kernel=kernel,
         )
-        prefill_stats = prefill_stats + block
-        if layer == 0:
-            per_projection = per_gemm
+        prefill_stats = prefill_stats + block.scaled(config.num_layers)
+    else:
+        for layer in range(config.num_layers):
+            block, per_gemm = block_gemm_cost(
+                config, policy, layer, batch, prefill_tokens, prefill_tokens,
+                system=system, kernel=kernel,
+            )
+            prefill_stats = prefill_stats + block
+            if layer == 0:
+                per_projection = per_gemm
 
     decode_stats = decode_phase_stats(
         config, policy, batch, prefill_tokens, decode_tokens,

@@ -143,4 +143,24 @@ class EnergyModel:
         )
 
     def total_j(self, stats: ExecutionStats) -> float:
-        return self.breakdown(stats).total_j
+        """Total energy in joules; same terms as :meth:`breakdown`, fused.
+
+        Kept as explicit arithmetic (no :class:`EnergyBreakdown`
+        construction) because the serving simulator calls this once per
+        memoised cost entry; ``tests/test_pim_substrate.py`` pins the
+        equivalence with :meth:`breakdown`.
+        """
+        n_dpus = max(stats.n_dpus_used, 1)
+        total_pj = (
+            n_dpus
+            * (
+                stats.dma_bytes * self.dram_pj_per_byte
+                + stats.dram_activations * self.dram_pj_per_activation
+                + (stats.dma_bytes + self.wram_bytes_per_lookup * stats.n_lookups)
+                * self.wram_pj_per_byte
+                + stats.n_instructions * self.instruction_pj
+                + self.static_w_per_dpu * stats.device_s * 1e12
+            )
+            + stats.host_bytes * self.host_pj_per_byte
+        )
+        return total_pj * 1e-12

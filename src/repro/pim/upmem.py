@@ -80,19 +80,33 @@ class ExecutionStats:
     MAX_FIELDS = ("wram_peak_bytes", "n_dpus_used")
 
     def __add__(self, other: "ExecutionStats") -> "ExecutionStats":
-        """Sequential composition (e.g. summing per-layer stats)."""
+        """Sequential composition (e.g. summing per-layer stats).
+
+        Hand-unrolled over the field list (kept in sync by
+        ``tests/test_pim_upmem.py``): this runs millions of times in
+        model sweeps and the serving simulator, where the generic
+        ``dataclasses.fields`` walk used to dominate the profile.
+        """
         if not isinstance(other, ExecutionStats):
             return NotImplemented
-        merged = ExecutionStats(kernel=self.kernel or other.kernel)
-        for f in fields(ExecutionStats):
-            if f.name == "kernel":
-                continue
-            a, b = getattr(self, f.name), getattr(other, f.name)
-            if f.name in ExecutionStats.MAX_FIELDS:
-                setattr(merged, f.name, max(a, b))
-            else:
-                setattr(merged, f.name, a + b)
-        return merged
+        return ExecutionStats(
+            kernel=self.kernel or other.kernel,
+            lut_load_s=self.lut_load_s + other.lut_load_s,
+            compute_s=self.compute_s + other.compute_s,
+            reorder_s=self.reorder_s + other.reorder_s,
+            dma_s=self.dma_s + other.dma_s,
+            host_s=self.host_s + other.host_s,
+            n_lut_entry_pairs=self.n_lut_entry_pairs + other.n_lut_entry_pairs,
+            n_lookups=self.n_lookups + other.n_lookups,
+            n_macs=self.n_macs + other.n_macs,
+            n_reorders=self.n_reorders + other.n_reorders,
+            n_instructions=self.n_instructions + other.n_instructions,
+            dma_bytes=self.dma_bytes + other.dma_bytes,
+            host_bytes=self.host_bytes + other.host_bytes,
+            dram_activations=self.dram_activations + other.dram_activations,
+            wram_peak_bytes=max(self.wram_peak_bytes, other.wram_peak_bytes),
+            n_dpus_used=max(self.n_dpus_used, other.n_dpus_used),
+        )
 
     def scaled(self, n: int) -> "ExecutionStats":
         """``n`` sequential repetitions of this invocation.
@@ -105,18 +119,47 @@ class ExecutionStats:
         """
         if n < 0:
             raise ValueError(f"repetition count must be non-negative, got {n}")
-        out = ExecutionStats(kernel=self.kernel)
         if n == 0:
-            return out
-        for f in fields(ExecutionStats):
-            if f.name == "kernel":
-                continue
-            value = getattr(self, f.name)
-            if f.name in ExecutionStats.MAX_FIELDS:
-                setattr(out, f.name, value)
-            else:
-                setattr(out, f.name, value * n)
-        return out
+            return ExecutionStats(kernel=self.kernel)
+        return ExecutionStats(
+            kernel=self.kernel,
+            lut_load_s=self.lut_load_s * n,
+            compute_s=self.compute_s * n,
+            reorder_s=self.reorder_s * n,
+            dma_s=self.dma_s * n,
+            host_s=self.host_s * n,
+            n_lut_entry_pairs=self.n_lut_entry_pairs * n,
+            n_lookups=self.n_lookups * n,
+            n_macs=self.n_macs * n,
+            n_reorders=self.n_reorders * n,
+            n_instructions=self.n_instructions * n,
+            dma_bytes=self.dma_bytes * n,
+            host_bytes=self.host_bytes * n,
+            dram_activations=self.dram_activations * n,
+            wram_peak_bytes=self.wram_peak_bytes,
+            n_dpus_used=self.n_dpus_used,
+        )
+
+    def copy(self) -> "ExecutionStats":
+        """Independent mutable copy (fast ``dataclasses.replace(self)``)."""
+        return ExecutionStats(
+            kernel=self.kernel,
+            lut_load_s=self.lut_load_s,
+            compute_s=self.compute_s,
+            reorder_s=self.reorder_s,
+            dma_s=self.dma_s,
+            host_s=self.host_s,
+            n_lut_entry_pairs=self.n_lut_entry_pairs,
+            n_lookups=self.n_lookups,
+            n_macs=self.n_macs,
+            n_reorders=self.n_reorders,
+            n_instructions=self.n_instructions,
+            dma_bytes=self.dma_bytes,
+            host_bytes=self.host_bytes,
+            dram_activations=self.dram_activations,
+            wram_peak_bytes=self.wram_peak_bytes,
+            n_dpus_used=self.n_dpus_used,
+        )
 
     def allclose(self, other: "ExecutionStats", rel_tol: float = 1e-9) -> bool:
         """Field-by-field equality: counts exact, latencies to ``rel_tol``.
@@ -166,6 +209,25 @@ class UpmemConfig:
     @property
     def total_dpus(self) -> int:
         return self.num_ranks * self.dpus_per_rank
+
+
+def _cached_frozen_hash(self) -> int:
+    """Per-instance hash cache for frozen config dataclasses.
+
+    Configs key every memoised cost-table lookup, and the generated
+    dataclass ``__hash__`` re-hashes the whole (nested) field tuple on
+    each call — measurable at simulator lookup rates.  Instances are
+    frozen, so the first computed hash is stashed on the instance.
+    """
+    cached = self.__dict__.get("_hash_cache")
+    if cached is None:
+        cached = hash(tuple(getattr(self, f.name) for f in fields(self)))
+        object.__setattr__(self, "_hash_cache", cached)
+    return cached
+
+
+UpmemConfig.__hash__ = _cached_frozen_hash  # type: ignore[assignment]
+UpmemTimings.__hash__ = _cached_frozen_hash  # type: ignore[assignment]
 
 
 class UpmemSystem:

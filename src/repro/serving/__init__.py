@@ -38,6 +38,7 @@ from repro.serving.policy import (
     get_policy,
 )
 from repro.serving.scheduler import (
+    ENGINES,
     RankStats,
     RequestRecord,
     ServingConfig,
@@ -61,6 +62,7 @@ __all__ = [
     "PriorityPolicy",
     "ChunkedPrefillPolicy",
     "get_policy",
+    "ENGINES",
     "ServingConfig",
     "RequestRecord",
     "RankStats",

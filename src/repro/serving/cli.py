@@ -19,9 +19,16 @@ Chunked prefills on a bursty long-prompt trace::
     python -m repro.serving --policy chunked_prefill --scenario bursty \\
         --prompt-mean 512 --chunk-tokens 32
 
-Compare every scheduling policy on the same trace::
+Compare every scheduling policy on the same trace, one process per
+policy::
 
-    python -m repro.serving --compare --scenario bursty --requests 128
+    python -m repro.serving --compare --scenario bursty --requests 128 \\
+        --workers 4
+
+Scale check: a 100k-request bursty trace on the event-driven engine::
+
+    python -m repro.serving --requests 100000 --scenario bursty \\
+        --model gpt-1.3b --quiet
 """
 
 from __future__ import annotations
@@ -29,15 +36,15 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.io import write_csv, write_json
 from repro.experiments.tables import format_table, policy_table
 from repro.kernels.cost import COST_KERNELS
 from repro.serving.metrics import metrics_table, record_rows, summary
 from repro.serving.policy import POLICIES
-from repro.serving.scheduler import ServingConfig, simulate_trace
-from repro.serving.trace import SCENARIOS, TraceSpec, generate_trace, trace_rows
+from repro.serving.scheduler import ENGINES, ServingConfig, simulate_trace
+from repro.serving.trace import Request, SCENARIOS, TraceSpec, generate_trace, trace_rows
 
 __all__ = ["build_parser", "main"]
 
@@ -64,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="DPUs per replica")
     deploy.add_argument("--max-batch", type=int, default=16, metavar="N",
                         help="concurrent decoding requests per replica")
+    deploy.add_argument("--engine", default="event", metavar="NAME",
+                        help=f"decode-advance engine ({', '.join(ENGINES)}; "
+                             "event = closed-form multi-token segments, "
+                             "loop = per-token reference)")
     sched = parser.add_argument_group("scheduling")
     sched.add_argument("--policy", default="fcfs", metavar="NAME",
                        help=f"scheduling policy ({', '.join(sorted(POLICIES))})")
@@ -73,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--compare", action="store_true",
                        help="run every scheduling policy on the same trace "
                             "and print the policy-comparison table")
+    sched.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for the --compare policy "
+                            "fan-out (1 = sequential; rows keep the "
+                            "alphabetical policy order either way)")
     trace = parser.add_argument_group("trace")
     trace.add_argument("--requests", type=int, default=64, metavar="N",
                        help="number of requests in the synthetic trace")
@@ -109,6 +124,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(args: argparse.Namespace) -> None:
+    """Reject nonsensical numeric inputs with flag-named messages.
+
+    The dataclass validators downstream would also catch most of these,
+    but their messages name internal fields; validating here keeps the
+    CLI contract (exit 2, message names the flag) uniform with the
+    unknown-name handling for ``--policy`` / ``--scenario``.
+    """
+    checks = (
+        (args.requests >= 0, "--requests must be >= 0", args.requests),
+        (args.ranks >= 1, "--ranks must be >= 1", args.ranks),
+        (args.dpus_per_rank >= 1, "--dpus-per-rank must be >= 1",
+         args.dpus_per_rank),
+        (args.max_batch >= 1, "--max-batch must be >= 1", args.max_batch),
+        (args.chunk_tokens >= 1, "--chunk-tokens must be >= 1",
+         args.chunk_tokens),
+        (args.arrival_rate > 0, "--arrival-rate must be positive",
+         args.arrival_rate),
+        (args.prompt_mean >= 1, "--prompt-mean must be >= 1 token",
+         args.prompt_mean),
+        (args.gen_mean >= 1, "--gen-mean must be >= 1 token", args.gen_mean),
+        (args.prompt_max >= 1, "--prompt-max must be >= 1", args.prompt_max),
+        (args.gen_max >= 1, "--gen-max must be >= 1", args.gen_max),
+        (args.sigma >= 0, "--sigma must be >= 0", args.sigma),
+        (args.seed >= 0, "--seed must be >= 0", args.seed),
+        (args.tiers >= 1, "--tiers must be >= 1", args.tiers),
+        (args.workers >= 1, "--workers must be >= 1", args.workers),
+    )
+    for ok, message, value in checks:
+        if not ok:
+            raise ValueError(f"{message}, got {value}")
+
+
+def _simulate_policy(
+    task: Tuple[Sequence[Request], ServingConfig, str]
+) -> dict:
+    """Summary row of one policy run (the --compare worker entry point)."""
+    requests, config, scenario = task
+    row = summary(simulate_trace(requests, config))
+    row["scenario"] = scenario
+    return row
+
+
 def _parse_slos(text: Optional[str], tiers: int) -> Tuple[float, ...]:
     """Parse the ``--slo-ttft`` CSV; empty tuple means no SLOs."""
     if text is None:
@@ -130,8 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        if args.tiers < 1:
-            raise ValueError(f"--tiers must be >= 1, got {args.tiers}")
+        _validate_args(args)
         spec = TraceSpec(
             num_requests=args.requests,
             arrival_rate_per_s=args.arrival_rate,
@@ -155,24 +212,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_batch=args.max_batch,
             policy=args.policy,
             prefill_chunk_tokens=args.chunk_tokens,
+            engine=args.engine,
         )
         requests = generate_trace(spec)
         result = simulate_trace(requests, config)
         comparison = []
         if args.compare:
-            summaries = []
-            for name in sorted(POLICIES):
-                run = (
-                    result
-                    if name == config.policy
-                    else simulate_trace(
-                        requests, dataclasses.replace(config, policy=name)
-                    )
-                )
-                row = summary(run)
-                row["scenario"] = spec.scenario
-                summaries.append(row)
-            comparison = policy_table(summaries)
+            others = [name for name in sorted(POLICIES) if name != config.policy]
+            tasks = [
+                (requests, dataclasses.replace(config, policy=name), spec.scenario)
+                for name in others
+            ]
+            if args.workers > 1 and tasks:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(
+                    max_workers=min(args.workers, len(tasks))
+                ) as pool:
+                    rows = list(pool.map(_simulate_policy, tasks))
+            else:
+                rows = [_simulate_policy(task) for task in tasks]
+            by_name = dict(zip(others, rows))
+            primary = summary(result)
+            primary["scenario"] = spec.scenario
+            by_name[config.policy] = primary
+            comparison = policy_table(
+                [by_name[name] for name in sorted(POLICIES)]
+            )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -125,6 +125,7 @@ def summary(result: ServingResult) -> dict:
             "scheme": result.config.scheme,
             "kernel": result.config.kernel,
             "policy": result.config.policy,
+            "engine": result.config.engine,
             "num_ranks": result.config.num_ranks,
             "dpus_per_rank": result.config.dpus_per_rank,
             "max_batch": result.config.max_batch,

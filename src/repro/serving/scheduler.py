@@ -15,6 +15,25 @@ substrate the way a production serving stack would:
   weight GEMMs run once, batched over the ``B`` running sequences
   (``M = B`` rows), while each request pays its own two attention
   matmuls at its current KV length.
+* **Event-driven decode** — between consecutive scheduler events (next
+  arrival, prefill completion, chunk boundary, earliest request finish,
+  preemption trigger) the running batch's composition is constant, so
+  the default ``engine="event"`` advances every running request by the
+  whole multi-token segment in one closed-form evaluation
+  (:func:`~repro.model.cost.decode_segment_stats` is the model-level
+  equivalent) instead of looping token by token.  Segment boundaries
+  are chosen so the event engine visits exactly the scheduling
+  decisions the per-token loop would: segments end at the earliest
+  completion in the batch, and — whenever a batch slot is free, so an
+  arrival could actually be admitted — at the first iteration boundary
+  at or past the next pending arrival (found by bisecting the
+  closed-form segment latency).  ``engine="loop"`` retains the
+  per-token reference walk; both engines produce identical metrics up
+  to float-summation rounding (scheduling decisions, counts and event
+  orderings are identical; see ``tests/test_serving_engines.py``).
+  Policy hooks are assumed pure (the loop engine re-evaluates
+  ``select_victims`` every iteration, the event engine once per
+  segment boundary — for deterministic policies the outcomes agree).
 * **Pluggable scheduling** — *which* waiting request is admitted next,
   whether KV pressure may preempt running requests, and how prefills
   are chunked are all decided by a
@@ -47,27 +66,49 @@ applied to merged stats).
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import inspect
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kernels.cost import COST_KERNELS
+from repro.kernels.cost import _cached_naive_sum_k as _naive_sum_k_lru
+from repro.kernels.cost import _cached_naive_sum_n as _naive_sum_n_lru
+
+# The cost cache memoises sums locally by integer KV keys, so the lru
+# layer (whose frozen-dataclass keys re-hash the whole timing config per
+# lookup) only adds overhead — call the undecorated bodies directly.
+_naive_sum_n = _naive_sum_n_lru.__wrapped__
+_naive_sum_k = _naive_sum_k_lru.__wrapped__
 from repro.model.config import ModelConfig, get_model_config
 from repro.model.cost import (
     decode_step_weight_stats,
     policy_weight_bytes,
     prefill_chunk_stats,
 )
-from repro.model.decoder import attention_gemm_costs
+from repro.model.decoder import ATTENTION_SCHEME
 from repro.model.policy import SchemePolicy
+from repro.quant.schemes import resolve_scheme
 from repro.pim.energy import EnergyModel
 from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
 from repro.serving.policy import POLICIES, SchedulingPolicy, get_policy
 from repro.serving.trace import Request
 
-__all__ = ["ServingConfig", "RequestRecord", "RankStats", "ServingResult", "simulate_trace"]
+__all__ = [
+    "ENGINES",
+    "ServingConfig",
+    "RequestRecord",
+    "RankStats",
+    "ServingResult",
+    "simulate_trace",
+]
+
+#: Decode-advance strategies accepted by :class:`ServingConfig`: the
+#: default event-driven closed-form segments, or the per-token
+#: reference loop.
+ENGINES = ("event", "loop")
 
 
 @dataclass(frozen=True)
@@ -91,6 +132,10 @@ class ServingConfig:
     prefill_chunk_tokens:
         Per-iteration prefill token budget used by the
         ``chunked_prefill`` policy (ignored by the others).
+    engine:
+        Decode-advance strategy from :data:`ENGINES`: the default
+        ``"event"`` (closed-form multi-token segments between scheduler
+        events) or the per-token reference ``"loop"``.
     """
 
     model: str = "gpt-350m"
@@ -101,11 +146,16 @@ class ServingConfig:
     max_batch: int = 16
     policy: str = "fcfs"
     prefill_chunk_tokens: int = 32
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.kernel not in COST_KERNELS:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; expected one of {COST_KERNELS}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown serving engine {self.engine!r}; expected one of {ENGINES}"
             )
         if self.policy not in POLICIES:
             raise ValueError(
@@ -237,7 +287,7 @@ class ServingResult:
 
 
 class _CostCache:
-    """Memoised (latency, energy) scalars for the three iteration costs.
+    """Memoised (latency, energy) scalars for the engine's cost queries.
 
     One instance per simulation: distinct prefill-chunk shapes, batch
     sizes and KV lengths each cost one analytical evaluation, after
@@ -245,6 +295,14 @@ class _CostCache:
     prompt is the ``(done=0, chunk=prompt)`` special case of a chunk,
     bit-identical to the prefill phase of
     :func:`~repro.model.cost.model_inference_cost`.
+
+    The event engine widens the per-iteration tables with a *segment*
+    table: a multi-token decode segment at batch ``B`` over per-request
+    KV ranges costs ``B`` lookups in the cumulative attention table
+    (:meth:`attn_cum`, keyed by KV depth; differences of cumulative
+    sums give any ``[kv_lo, kv_hi]`` range in O(1)) plus the
+    batch-keyed :meth:`weight_step` entry scaled by the segment length
+    — the memoisation key space is exactly (batch, KV-depth range).
     """
 
     def __init__(
@@ -263,6 +321,26 @@ class _CostCache:
         self._chunk: Dict[Tuple[int, int], Tuple[float, float]] = {}
         self._weight_step: Dict[int, Tuple[float, float]] = {}
         self._attn_step: Dict[int, Tuple[float, float]] = {}
+        # Cumulative attention scalars, keyed by KV depth.  Below
+        # ``_attn_cum_floor`` the attention matmuls' DPU count still
+        # grows with the KV length, so per-step energy attribution is
+        # not linear in the aggregated stats and the cumulative sum is
+        # built step by step; past the floor the DPU count is constant
+        # and whole ranges collapse to one closed-form evaluation.
+        self._attn_cum: Dict[int, Tuple[float, float]] = {0: (0.0, 0.0)}
+        self._attn_cum_floor = (
+            system.total_dpus if system.total_dpus > model.head_dim else 0
+        )
+        # Sorted constant-region keys of ``_attn_cum`` (plus 0), so a new
+        # cumulative entry extends from its nearest cached neighbour
+        # instead of re-summing the whole prefix.
+        self._attn_cum_keys: List[int] = [0]
+        # Attention matmuls are always costed on the naive int8-MAC path
+        # at ATTENTION_SCHEME precision; resolve once so cache misses
+        # call the shared cost functions directly (the public wrappers'
+        # per-call scheme/config resolution and defensive copies are
+        # measurable at event-engine miss rates).
+        self._attn_scheme = resolve_scheme(ATTENTION_SCHEME)
 
     def _scalars(self, stats: ExecutionStats) -> Tuple[float, float]:
         return stats.total_s, self.energy.total_j(stats)
@@ -299,14 +377,80 @@ class _CostCache:
         """
         hit = self._attn_step.get(kv_len)
         if hit is None:
-            per_layer = ExecutionStats()
-            for stats in attention_gemm_costs(
-                self.model.num_heads, self.model.head_dim, 1, 1, kv_len, self.system
-            ).values():
-                per_layer = per_layer + stats
+            # Single-term instance of the closed-form range sums: the
+            # same stats as costing both matmuls individually, without
+            # the per-call bank/buffer modelling objects.
+            heads, head_dim = self.model.num_heads, self.model.head_dim
+            config = self.system.config
+            per_layer = _naive_sum_n(
+                self._attn_scheme, heads, head_dim, kv_len, kv_len, config
+            ) + _naive_sum_k(
+                self._attn_scheme, heads, head_dim, kv_len, kv_len, config
+            )
             hit = self._scalars(per_layer.scaled(self.model.num_layers))
             self._attn_step[kv_len] = hit
         return hit
+
+    def attn_cum(self, kv_len: int) -> Tuple[float, float]:
+        """Cumulative ``sum(attn_step(kv) for kv in [1, kv_len])`` scalars.
+
+        Matches the per-step sum the loop engine would accumulate
+        (latency to float rounding, energy attributed per step): below
+        :attr:`_attn_cum_floor` the sum extends step by step through the
+        memoised :meth:`attn_step` entries, above it whole tails come
+        from one :func:`~repro.model.cost.decode_attention_stats_sum`
+        evaluation (valid there because the attention DPU count — and
+        with it the energy model's per-DPU scaling — is constant).
+        """
+        hit = self._attn_cum.get(kv_len)
+        if hit is not None:
+            return hit
+        floor = self._attn_cum_floor
+        if kv_len <= floor:
+            start = kv_len
+            while start > 1 and (start - 1) not in self._attn_cum:
+                start -= 1
+            lat, energy = self._attn_cum[start - 1]
+            for kv in range(start, kv_len + 1):
+                step_lat, step_energy = self.attn_step(kv)
+                lat += step_lat
+                energy += step_energy
+                self._attn_cum[kv] = (lat, energy)
+            return self._attn_cum[kv_len]
+        keys = self._attn_cum_keys
+        base_key = keys[bisect.bisect_left(keys, kv_len) - 1]
+        if base_key < floor:
+            base_key = floor
+            base_lat, base_energy = self.attn_cum(floor)
+        else:
+            base_lat, base_energy = self._attn_cum[base_key]
+        # Equivalent of decode_attention_stats_sum(model, 1, base_key + 1,
+        # kv_len) scaled to all layers, via the shared cached sums.
+        heads, head_dim = self.model.num_heads, self.model.head_dim
+        config = self.system.config
+        tail = (
+            _naive_sum_n(
+                self._attn_scheme, heads, head_dim, base_key + 1, kv_len, config
+            )
+            + _naive_sum_k(
+                self._attn_scheme, heads, head_dim, base_key + 1, kv_len, config
+            )
+        ).scaled(self.model.num_layers)
+        hit = (base_lat + tail.total_s, base_energy + self.energy.total_j(tail))
+        self._attn_cum[kv_len] = hit
+        bisect.insort(keys, kv_len)
+        return hit
+
+    def attn_segment(self, kv_lo: int, kv_hi: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one request's attention over a KV range.
+
+        The sum of :meth:`attn_step` for every ``kv`` in
+        ``[kv_lo, kv_hi]`` — the attention cost of one multi-token
+        decode segment — as a difference of two cumulative entries.
+        """
+        lo_lat, lo_energy = self.attn_cum(kv_lo - 1)
+        hi_lat, hi_energy = self.attn_cum(kv_hi)
+        return hi_lat - lo_lat, hi_energy - lo_energy
 
 
 @dataclass
@@ -363,6 +507,7 @@ class _RankEngine:
         self.clock = 0.0
         self.kv_used = 0
         self._seq = 0  # heap tie-break counter
+        self._event_driven = config.engine == "event"
 
     # -- ready-queue helpers ------------------------------------------------
 
@@ -462,6 +607,95 @@ class _RankEngine:
                 still_running.append(state)
         self.running = still_running
 
+    # -- event-driven decode segments -----------------------------------------
+
+    def _segment_latency(self, tokens: int) -> float:
+        """Closed-form latency of ``tokens`` decode iterations from here."""
+        total = tokens * self.cache.weight_step(len(self.running))[0]
+        for state in self.running:
+            kv = state.request.prompt_tokens + state.tokens_out
+            total += self.cache.attn_segment(kv + 1, kv + tokens)[0]
+        return total
+
+    def _cap_to_arrival(self, tokens: int) -> int:
+        """Truncate a segment at the next arrival's iteration boundary.
+
+        Returns the smallest iteration count whose closing clock is at
+        or past the next pending arrival (that is where the per-token
+        loop would first collect — and possibly admit — it), or
+        ``tokens`` unchanged when the arrival lands beyond the segment.
+        """
+        horizon = self.pending[0].request.arrival_s
+        if self.clock + self._segment_latency(tokens) < horizon:
+            return tokens
+        lo, hi = 1, tokens
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.clock + self._segment_latency(mid) >= horizon:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def _decode_segment(self) -> None:
+        """Advance the whole running batch to the next scheduler event.
+
+        Only called with an empty prefill stage, so the batch
+        composition is constant until the earliest completion — or, when
+        a batch slot is free (an arrival could be admitted mid-segment),
+        until the next pending arrival's iteration boundary.  Requests
+        that have not produced a token yet get their first-token stamp
+        from the segment's first iteration boundary, computed exactly
+        the way :meth:`_decode_iteration` would.
+        """
+        tokens = min(
+            state.request.gen_tokens - state.tokens_out for state in self.running
+        )
+        if (
+            tokens > 1
+            and self.pending
+            and len(self.running) < self.config.max_batch
+        ):
+            tokens = self._cap_to_arrival(tokens)
+        if tokens <= 1:
+            self._decode_iteration()
+            return
+        batch = len(self.running)
+        weight_latency, weight_energy = self.cache.weight_step(batch)
+        latency = tokens * weight_latency
+        energy = tokens * weight_energy
+        for state in self.running:
+            kv = state.request.prompt_tokens + state.tokens_out
+            attn_latency, attn_energy = self.cache.attn_segment(kv + 1, kv + tokens)
+            latency += attn_latency
+            energy += attn_energy
+        if any(state.tokens_out == 0 for state in self.running):
+            # Clock after the segment's first iteration, accumulated in
+            # the same order as the per-token loop.
+            first_latency = weight_latency
+            for state in self.running:
+                kv = state.request.prompt_tokens + state.tokens_out + 1
+                first_latency += self.cache.attn_step(kv)[0]
+            first_boundary = self.clock + first_latency
+            for state in self.running:
+                if state.tokens_out == 0:
+                    state.record.first_token_s = first_boundary
+        self.clock += latency
+        self.stats.busy_s += latency
+        self.stats.energy_j += energy
+        self.stats.decode_iterations += tokens
+        self.stats.output_tokens += tokens * batch
+        still_running: List[_RequestState] = []
+        for state in self.running:
+            state.tokens_out += tokens
+            if state.tokens_out >= state.request.gen_tokens:
+                state.record.finish_s = self.clock
+                self.kv_used -= state.kv_bytes
+                self.records.append(state.record)
+            else:
+                still_running.append(state)
+        self.running = still_running
+
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> Tuple[List[RequestRecord], RankStats]:
@@ -470,7 +704,10 @@ class _RankEngine:
             self._admit()
             self._prefill_stage()
             if self.running:
-                self._decode_iteration()
+                if self._event_driven and not self.prefilling:
+                    self._decode_segment()
+                else:
+                    self._decode_iteration()
             elif not self.prefilling and self.pending:
                 # Idle: jump to the next arrival.
                 self.clock = max(self.clock, self.pending[0].request.arrival_s)

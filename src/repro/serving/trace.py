@@ -18,6 +18,9 @@ produce identical traces.  Three arrival **scenarios** are available
   sinusoidal day/night cycle, ``rate(t) = base * (1 + amplitude *
   sin(2 pi t / period))``, drawn by thinning.
 
+All draws are vectorised numpy block draws (no per-request RNG calls),
+so 100k-request traces generate in milliseconds.
+
 Prompt/generation lengths are log-normal with configurable mean/shape,
 clipped to maxima.  Priority tiers are sampled from
 ``priority_weights`` (tier 0 first, most important), and each tier may
@@ -228,45 +231,77 @@ def _steady_arrivals(rng: np.random.Generator, spec: TraceSpec) -> np.ndarray:
 def _bursty_arrivals(rng: np.random.Generator, spec: TraceSpec) -> np.ndarray:
     """Two-state MMPP arrivals: calm at the base rate, bursts above it.
 
-    The exponential inter-arrival draw is memoryless, so on a state
-    switch the pending gap is simply redrawn at the new rate from the
-    switch time.
+    Vectorised construction: dwell intervals alternate calm/burst with
+    exponential durations, each interval's arrival count is Poisson at
+    ``rate * duration``, and the arrival times inside an interval are
+    uniform order statistics — the textbook-equivalent decomposition of
+    a Markov-modulated Poisson process, drawn in numpy blocks instead
+    of one scalar draw per arrival.  (The process law is unchanged from
+    the original per-request generator, but the RNG draw order is not;
+    the serving goldens were regenerated when this landed.)
     """
-    rates = (
-        spec.arrival_rate_per_s,
-        spec.arrival_rate_per_s * spec.burst_rate_multiplier,
+    rates = np.array(
+        [spec.arrival_rate_per_s,
+         spec.arrival_rate_per_s * spec.burst_rate_multiplier]
     )
-    dwells = (spec.calm_dwell_s, spec.burst_dwell_s)
-    arrivals = []
+    dwell_means = np.array([spec.calm_dwell_s, spec.burst_dwell_s])
+    target = spec.num_requests
+    if target == 0:
+        return np.empty(0)
+    per_cycle = float(rates @ dwell_means)  # expected arrivals per 2 dwells
+    chunks: List[np.ndarray] = []
+    drawn = 0
     t = 0.0
     state = 0  # start calm
-    switch_at = float(rng.exponential(scale=dwells[state]))
-    while len(arrivals) < spec.num_requests:
-        candidate = t + float(rng.exponential(scale=1.0 / rates[state]))
-        if candidate > switch_at:
-            t = switch_at
-            state = 1 - state
-            switch_at = t + float(rng.exponential(scale=dwells[state]))
-            continue
-        t = candidate
-        arrivals.append(t)
-    return np.asarray(arrivals)
+    while drawn < target:
+        need = target - drawn
+        intervals = 2 * max(4, math.ceil(need / max(per_cycle, 1e-9))) + 2
+        means = dwell_means[(state + np.arange(intervals)) % 2]
+        durations = rng.exponential(scale=1.0, size=intervals) * means
+        starts = t + np.concatenate(([0.0], np.cumsum(durations[:-1])))
+        counts = rng.poisson(rates[(state + np.arange(intervals)) % 2] * durations)
+        # (0, 1] offsets keep every arrival strictly after trace start.
+        offsets = 1.0 - rng.uniform(size=int(counts.sum()))
+        arrivals = np.repeat(starts, counts) + offsets * np.repeat(durations, counts)
+        chunks.append(arrivals)
+        drawn += len(arrivals)
+        t = starts[-1] + durations[-1]
+        state = (state + intervals) % 2
+    # Dwell intervals are disjoint and increasing, so one global sort
+    # orders arrivals within and across intervals alike.
+    return np.sort(np.concatenate(chunks))[:target]
 
 
 def _diurnal_arrivals(rng: np.random.Generator, spec: TraceSpec) -> np.ndarray:
-    """Sinusoidally modulated Poisson arrivals, drawn by thinning."""
+    """Sinusoidally modulated Poisson arrivals, drawn by thinning.
+
+    Vectorised thinning: candidate arrivals come from a homogeneous
+    Poisson process at the peak rate (block exponential draws), and each
+    candidate survives with probability ``rate(t) / rate_max`` (block
+    uniform draws) — the same acceptance law as the original
+    candidate-at-a-time loop, with a different RNG draw order.
+    """
     base = spec.arrival_rate_per_s
     amplitude = spec.diurnal_amplitude
     omega = 2.0 * math.pi / spec.diurnal_period_s
     rate_max = base * (1.0 + amplitude)
-    arrivals = []
+    target = spec.num_requests
+    if target == 0:
+        return np.empty(0)
+    # Time-averaged acceptance probability is 1 / (1 + amplitude).
+    chunks: List[np.ndarray] = []
+    accepted = 0
     t = 0.0
-    while len(arrivals) < spec.num_requests:
-        t += float(rng.exponential(scale=1.0 / rate_max))
-        rate_t = base * (1.0 + amplitude * math.sin(omega * t))
-        if float(rng.uniform()) * rate_max <= rate_t:
-            arrivals.append(t)
-    return np.asarray(arrivals)
+    while accepted < target:
+        need = target - accepted
+        block = max(16, math.ceil(need * (1.0 + amplitude) * 1.25))
+        candidates = t + np.cumsum(rng.exponential(scale=1.0 / rate_max, size=block))
+        rate_t = base * (1.0 + amplitude * np.sin(omega * candidates))
+        keep = candidates[rng.uniform(size=block) * rate_max <= rate_t]
+        chunks.append(keep)
+        accepted += len(keep)
+        t = float(candidates[-1])
+    return np.concatenate(chunks)[:target]
 
 
 _ARRIVAL_GENERATORS = {

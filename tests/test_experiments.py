@@ -43,6 +43,42 @@ def test_empty_grid_produces_empty_sweep():
     assert format_table([]) == "(empty table)"
 
 
+def test_parallel_sweep_matches_sequential():
+    """workers > 1 fans grid points over processes; rows must come back
+    identical and in the same deterministic grid order."""
+    spec = SweepSpec(models=("gpt-125m",), schemes=("W1A3", "W4A4"),
+                     kernels=("lut_gemm", "naive_pim_gemm"),
+                     prefill_lens=(8, 16), decode_tokens=2)
+    sequential = run_sweep(spec)
+    parallel = run_sweep(spec, workers=2)
+    assert parallel == sequential
+    assert [
+        (r["model"], r["scheme"], r["kernel"], r["prefill_tokens"])
+        for r in parallel
+    ] == [
+        (r["model"], r["scheme"], r["kernel"], r["prefill_tokens"])
+        for r in sequential
+    ]
+
+
+def test_run_point_task_matches_inline_row():
+    """The worker-process entry point rebuilds objects from primitives
+    and must produce the same row as the sequential path."""
+    from repro.experiments.sweep import _run_point_task
+
+    spec = SweepSpec(**FAST)
+    (row,) = run_sweep(spec)
+    task_row = _run_point_task(
+        (("gpt-125m", 4, "W1A3", "lut_gemm", 1, 8), 2, "closed_form")
+    )
+    assert task_row == row
+
+
+def test_run_sweep_rejects_bad_workers():
+    with pytest.raises(ValueError, match="workers"):
+        run_sweep(SweepSpec(**FAST), workers=0)
+
+
 def test_sequence_length_one_pure_decode():
     rows = run_sweep(
         SweepSpec(models=("gpt-125m",), schemes=("W1A3",), prefill_lens=(1,),
@@ -301,6 +337,16 @@ def test_cli_csv_output(tmp_path):
     ])
     assert code == 0
     assert read_csv(out)[0]["status"] == "ok"
+
+
+def test_cli_workers_flag(tmp_path):
+    seq, par = str(tmp_path / "seq.json"), str(tmp_path / "par.json")
+    base = ["--model", "gpt-125m", "--schemes", "W1A3,W4A4", "--seq-len", "8",
+            "--decode-tokens", "2", "--quiet"]
+    assert main(base + ["--output", seq]) == 0
+    assert main(base + ["--workers", "2", "--output", par]) == 0
+    assert read_json(par)["rows"] == read_json(seq)["rows"]
+    assert main(base + ["--workers", "0"]) == 2
 
 
 def test_cli_ablation_flag(tmp_path, capsys):

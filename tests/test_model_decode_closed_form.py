@@ -129,6 +129,56 @@ def test_closed_form_decode_with_batch_ranks_and_mixed_policy():
     assert_stats_equivalent(loop, closed)
 
 
+def test_layer_uniform_prefill_scaling_matches_per_layer_sum():
+    """Without layer overrides the cost spine scales one block by
+    ``num_layers``; the result must match the explicit per-layer sum
+    (which still runs for layer-override policies)."""
+    from repro.model.cost import block_gemm_cost, prefill_chunk_stats
+
+    config = get_model_config("gpt-125m")
+    system = UpmemSystem(UpmemConfig(num_ranks=1))
+    # Projection overrides apply identically to every layer, so the
+    # scaled fast path must still be taken and still be equivalent.
+    policy = SchemePolicy("W1A3", projection_overrides={"ffn_down": "W2A2"})
+    scaled = prefill_chunk_stats(config, policy, 1, 16, 8, system=system)
+    manual = ExecutionStats(kernel="prefill_chunk")
+    for layer in range(config.num_layers):
+        block, _ = block_gemm_cost(config, policy, layer, 1, 8, 24,
+                                   system=system)
+        manual = manual + block
+    assert_stats_equivalent(manual, scaled)
+
+    # A layer override forces the per-layer walk; same equivalence.
+    mixed = SchemePolicy("W1A3", layer_overrides={1: "W4A4"})
+    walked = prefill_chunk_stats(config, mixed, 1, 16, 8, system=system)
+    manual_mixed = ExecutionStats(kernel="prefill_chunk")
+    for layer in range(config.num_layers):
+        block, _ = block_gemm_cost(config, mixed, layer, 1, 8, 24,
+                                   system=system)
+        manual_mixed = manual_mixed + block
+    assert_stats_equivalent(manual_mixed, walked)
+    assert walked.n_lut_entry_pairs != scaled.n_lut_entry_pairs  # override matters
+
+
+def test_model_inference_cost_prefill_identical_across_policy_shapes():
+    """The prefill fast path (uniform policy) and per-layer walk (layer
+    overrides) must agree with each other's construction: a no-op
+    override forces the walk without changing any schemes."""
+    config = get_model_config("gpt-125m")
+    system = UpmemSystem(UpmemConfig(num_ranks=1))
+    uniform = model_inference_cost(
+        config, SchemePolicy("W1A3"), prefill_tokens=16, decode_tokens=4,
+        system=system,
+    )
+    noop_override = model_inference_cost(
+        config, SchemePolicy("W1A3", layer_overrides={0: "W1A3"}),
+        prefill_tokens=16, decode_tokens=4, system=system,
+    )
+    assert_stats_equivalent(noop_override.prefill.stats, uniform.prefill.stats)
+    assert_stats_equivalent(noop_override.decode.stats, uniform.decode.stats)
+    assert set(uniform.per_projection) == set(noop_override.per_projection)
+
+
 def test_zero_decode_tokens_equivalent_and_empty():
     config = get_model_config("gpt-125m")
     policy = SchemePolicy("W1A3")

@@ -187,3 +187,20 @@ class TestEnergyModel:
         model = EnergyModel()
         b = model.breakdown(self._stats())
         assert model.total_j(self._stats()) == pytest.approx(b.total_pj * 1e-12)
+
+    def test_fused_total_j_matches_breakdown_for_varied_stats(self):
+        """total_j is a fused formula (no EnergyBreakdown construction);
+        it must track breakdown().total_j across every component mix,
+        including the latency-driven static term and custom constants."""
+        model = EnergyModel(instruction_pj=17.0, static_w_per_dpu=0.3)
+        cases = [
+            ExecutionStats(),
+            self._stats(),
+            ExecutionStats(compute_s=0.5, dma_s=0.25, n_dpus_used=7,
+                           n_lookups=123, dma_bytes=999, host_bytes=1,
+                           dram_activations=13, n_instructions=456),
+        ]
+        for stats in cases:
+            assert model.total_j(stats) == pytest.approx(
+                model.breakdown(stats).total_j, rel=1e-12
+            )

@@ -75,3 +75,38 @@ class TestExecutionStats:
     def test_addition_rejects_other_types(self):
         with pytest.raises(TypeError):
             ExecutionStats() + 3
+
+    def test_hand_unrolled_ops_cover_every_field(self):
+        """__add__/scaled/copy are hand-unrolled for speed; this guard
+        fails if a new field is added to the dataclass without updating
+        them (a generic fields() walk is the oracle)."""
+        import dataclasses
+
+        probe = ExecutionStats(kernel="probe")
+        for i, f in enumerate(f for f in dataclasses.fields(ExecutionStats)
+                              if f.name != "kernel"):
+            setattr(probe, f.name, (i + 1) if f.type == "int" else float(i + 1))
+
+        total = probe + probe
+        doubled = probe.scaled(2)
+        clone = probe.copy()
+        for f in dataclasses.fields(ExecutionStats):
+            if f.name == "kernel":
+                continue
+            value = getattr(probe, f.name)
+            assert getattr(clone, f.name) == value, f.name
+            expected = value if f.name in ExecutionStats.MAX_FIELDS else 2 * value
+            assert getattr(total, f.name) == expected, f.name
+            assert getattr(doubled, f.name) == expected, f.name
+        assert clone is not probe
+        assert clone == probe
+
+    def test_config_hash_is_cached_and_consistent(self):
+        """UpmemConfig/UpmemTimings cache their hash per frozen instance;
+        equal configs must still hash equal and work as dict keys."""
+        a, b = UpmemConfig(), UpmemConfig()
+        assert a == b and hash(a) == hash(b)
+        assert hash(a) == hash(a)  # second call hits the cache
+        assert {a: 1}[b] == 1
+        c = UpmemConfig(num_ranks=2)
+        assert c != a

@@ -56,6 +56,59 @@ def test_cli_rejects_bad_arguments(capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_cli_rejects_nonsensical_numeric_inputs(capsys):
+    """Negative/zero numeric flags exit 2 with a message naming the flag
+    (not an internal dataclass field) and no traceback."""
+    cases = [
+        (["--requests", "-5"], "--requests"),
+        (["--ranks", "0"], "--ranks"),
+        (["--dpus-per-rank", "0"], "--dpus-per-rank"),
+        (["--max-batch", "0"], "--max-batch"),
+        (["--chunk-tokens", "0"], "--chunk-tokens"),
+        (["--chunk-tokens", "-3"], "--chunk-tokens"),
+        (["--arrival-rate", "-1"], "--arrival-rate"),
+        (["--prompt-mean", "0"], "--prompt-mean"),
+        (["--gen-mean", "0.5"], "--gen-mean"),
+        (["--prompt-max", "0"], "--prompt-max"),
+        (["--gen-max", "-1"], "--gen-max"),
+        (["--sigma", "-0.1"], "--sigma"),
+        (["--seed", "-1"], "--seed"),
+        (["--tiers", "0"], "--tiers"),
+        (["--workers", "0"], "--workers"),
+    ]
+    for flags, name in cases:
+        assert main(["--model", "gpt-125m", "--quiet"] + flags) == 2, flags
+        err = capsys.readouterr().err
+        assert name in err, (flags, err)
+        assert "Traceback" not in err
+
+
+def test_cli_engine_flag(tmp_path, capsys):
+    out = str(tmp_path / "loop.json")
+    code = main(["--model", "gpt-125m", "--requests", "6", "--ranks", "1",
+                 "--engine", "loop", "--prompt-mean", "16", "--gen-mean", "4",
+                 "--quiet", "--output", out])
+    assert code == 0
+    assert read_json(out)["summary"]["engine"] == "loop"
+    assert main(["--model", "gpt-125m", "--engine", "turbo", "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown serving engine" in err and "event" in err
+    assert "Traceback" not in err
+
+
+def test_cli_compare_workers_match_sequential(tmp_path):
+    """--workers parallelises the --compare fan-out without changing the
+    table (deterministic order, identical rows)."""
+    args = ["--model", "gpt-125m", "--requests", "8", "--ranks", "1",
+            "--compare", "--prompt-mean", "32", "--gen-mean", "8", "--quiet"]
+    seq, par = str(tmp_path / "seq.json"), str(tmp_path / "par.json")
+    assert main(args + ["--output", seq]) == 0
+    assert main(args + ["--workers", "4", "--output", par]) == 0
+    assert (
+        read_json(seq)["policy_comparison"] == read_json(par)["policy_comparison"]
+    )
+
+
 def test_cli_rejects_unknown_policy_with_clear_error(capsys):
     assert main(["--model", "gpt-125m", "--policy", "edf", "--quiet"]) == 2
     err = capsys.readouterr().err

@@ -42,7 +42,8 @@ def test_length_means_track_spec():
 
 
 def test_empty_trace_and_validation():
-    assert generate_trace(TraceSpec(num_requests=0)) == []
+    for scenario in ("steady", "bursty", "diurnal"):
+        assert generate_trace(TraceSpec(num_requests=0, scenario=scenario)) == []
     with pytest.raises(ValueError):
         TraceSpec(arrival_rate_per_s=0.0)
     with pytest.raises(ValueError):

@@ -3,19 +3,25 @@
 
 Seeds the repo's performance trajectory: runs (a) a model-level sweep,
 (b) the decode cost in both aggregation modes (loop vs closed form),
-(c) a 1000-request serving trace on gpt-1.3b and (d) the four
-scheduling policies on a bursty long-prefill trace, then writes the
+(c) a 1000-request serving trace on gpt-1.3b, (d) the four scheduling
+policies on a bursty long-prefill trace, (e) the event-driven serving
+engine against the per-token loop engine on a long-generation trace
+and (f) a 100k-request bursty scaling trace, then writes the
 wall-clock numbers, simulated throughput and the policy-comparison
-table to ``BENCH_serving.json``.
+table — plus environment metadata (python / platform / git SHA / UTC
+timestamp) so trajectories are comparable across machines — to
+``BENCH_serving.json``.
 
 Usage::
 
     PYTHONPATH=src python tools/bench.py [--output BENCH_serving.json] [--check]
 
 ``--check`` exits non-zero if the trace simulation misses its
-wall-clock budget (10 s for 1000 requests), or if the chunked-prefill
+wall-clock budget (10 s for 1000 requests), if the event engine's
+speedup over the loop engine falls below 10x at 1000 requests, if the
+100k-request scaling run misses its budget, or if the chunked-prefill
 policy stops beating FCFS p95 TTFT on the bursty long-prefill scenario
-(or drops completed requests), so CI catches both performance and
+(or drops completed requests), so CI catches performance and
 scheduling-quality regressions on the serving path.
 """
 
@@ -23,19 +29,45 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 
 TRACE_REQUESTS = 1000
 TRACE_BUDGET_S = 10.0
 DECODE_TOKENS = 256
 POLICY_REQUESTS = 200
+ENGINE_REQUESTS = 1000
+ENGINE_SPEEDUP_FLOOR = 10.0
+SCALING_REQUESTS = 100_000
+SCALING_BUDGET_S = 180.0
 
 
 def _timed(fn):
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def environment_meta() -> dict:
+    """Python / platform / git / timestamp metadata for the payload."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True, timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": sha,
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+    }
 
 
 def bench_sweep() -> dict:
@@ -96,6 +128,71 @@ def bench_serving() -> dict:
     }
 
 
+def bench_engines() -> dict:
+    """Event-driven vs per-token loop engine on a long-generation trace.
+
+    The regime where closed-form segments pay off: few thousand-token
+    generations per batch slot, so the loop engine walks millions of
+    per-token iterations while the event engine visits one closed-form
+    segment per scheduler event.  Both engines run the same trace and
+    must agree on completions and generated tokens (the equivalence
+    tests pin the full metric set).
+    """
+    import dataclasses
+
+    from repro.serving import ServingConfig, TraceSpec, generate_trace, simulate_trace
+
+    trace = generate_trace(TraceSpec(
+        num_requests=ENGINE_REQUESTS, seed=0, arrival_rate_per_s=8.0,
+        prompt_mean=128.0, gen_mean=4096.0, gen_max=16384,
+    ))
+    config = ServingConfig(model="gpt-1.3b", num_ranks=4, max_batch=4)
+    loop_result, loop_wall = _timed(
+        lambda: simulate_trace(trace, dataclasses.replace(config, engine="loop"))
+    )
+    event_result, event_wall = _timed(
+        lambda: simulate_trace(trace, dataclasses.replace(config, engine="event"))
+    )
+    return {
+        "requests": ENGINE_REQUESTS,
+        "gen_mean": 4096,
+        "loop_wall_s": loop_wall,
+        "event_wall_s": event_wall,
+        "speedup": loop_wall / event_wall if event_wall > 0 else 0.0,
+        "speedup_floor": ENGINE_SPEEDUP_FLOOR,
+        "output_tokens": event_result.output_tokens,
+        "loop_output_tokens": loop_result.output_tokens,
+        "tokens_match": loop_result.output_tokens == event_result.output_tokens,
+        "completed": sum(
+            r.status == "completed" for r in event_result.records
+        ),
+    }
+
+
+def bench_scaling() -> dict:
+    """100k-request bursty trace on the event engine (the scaling entry)."""
+    from repro.serving import ServingConfig, TraceSpec, generate_trace, simulate_trace
+
+    spec = TraceSpec(
+        num_requests=SCALING_REQUESTS, seed=0, scenario="bursty",
+        arrival_rate_per_s=32.0, burst_rate_multiplier=8.0,
+    )
+    trace, trace_wall = _timed(lambda: generate_trace(spec))
+    config = ServingConfig(model="gpt-1.3b", num_ranks=8)
+    result, wall = _timed(lambda: simulate_trace(trace, config))
+    return {
+        "requests": SCALING_REQUESTS,
+        "scenario": spec.scenario,
+        "trace_wall_s": trace_wall,
+        "wall_s": wall,
+        "wall_budget_s": SCALING_BUDGET_S,
+        "completed": sum(r.status == "completed" for r in result.records),
+        "simulated_makespan_s": result.makespan_s,
+        "simulated_output_tokens": result.output_tokens,
+        "requests_per_wall_s": SCALING_REQUESTS / wall if wall else 0.0,
+    }
+
+
 def bench_policies() -> dict:
     """All scheduling policies on one bursty long-prefill trace.
 
@@ -152,9 +249,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     payload = {
+        "meta": environment_meta(),
         "sweep": bench_sweep(),
         "decode": bench_decode_methods(),
         "serving": bench_serving(),
+        "engines": bench_engines(),
+        "scaling": bench_scaling(),
         "policies": bench_policies(),
     }
     with open(args.output, "w", encoding="utf-8") as fh:
@@ -163,6 +263,8 @@ def main(argv=None) -> int:
 
     serving = payload["serving"]
     decode = payload["decode"]
+    engines = payload["engines"]
+    scaling = payload["scaling"]
     policies = payload["policies"]
     print(f"sweep: {payload['sweep']['wall_s']:.3f} s "
           f"({payload['sweep']['grid_points']} point(s))")
@@ -171,6 +273,12 @@ def main(argv=None) -> int:
           f"({decode['speedup']:.1f}x)")
     print(f"serving: {serving['requests']} requests in {serving['wall_s']:.3f} s "
           f"wall ({serving['simulated_tokens_per_s']:.1f} simulated tok/s)")
+    print(f"engines (long generation): event {engines['event_wall_s']:.3f} s "
+          f"vs loop {engines['loop_wall_s']:.3f} s "
+          f"({engines['speedup']:.1f}x)")
+    print(f"scaling: {scaling['requests']} bursty requests in "
+          f"{scaling['wall_s']:.1f} s wall "
+          f"({scaling['requests_per_wall_s']:.0f} requests/s)")
     print(f"policies ({policies['scenario']} long-prefill): chunked_prefill "
           f"p95 TTFT {policies['chunked_vs_fcfs_ttft_p95_speedup']:.3f}x vs fcfs")
     print(f"wrote {args.output}")
@@ -180,6 +288,29 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: {serving['requests']}-request trace took "
                 f"{serving['wall_s']:.2f} s (> {TRACE_BUDGET_S} s budget)",
+                file=sys.stderr,
+            )
+            return 1
+        if not engines["tokens_match"]:
+            print(
+                f"FAIL: event engine generated {engines['output_tokens']} "
+                f"tokens vs the loop engine's "
+                f"{engines['loop_output_tokens']} on the same trace",
+                file=sys.stderr,
+            )
+            return 1
+        if engines["speedup"] < ENGINE_SPEEDUP_FLOOR:
+            print(
+                f"FAIL: event engine is only {engines['speedup']:.1f}x the "
+                f"loop engine at {engines['requests']} requests "
+                f"(floor {ENGINE_SPEEDUP_FLOOR}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if scaling["wall_s"] > SCALING_BUDGET_S:
+            print(
+                f"FAIL: {scaling['requests']}-request scaling trace took "
+                f"{scaling['wall_s']:.1f} s (> {SCALING_BUDGET_S} s budget)",
                 file=sys.stderr,
             )
             return 1
