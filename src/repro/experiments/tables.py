@@ -33,7 +33,30 @@ __all__ = [
     "policy_table",
     "format_table",
     "percentile",
+    "safe_ratio",
 ]
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator``, or ``default`` when the denominator
+    is zero (or negative, for quantities that are durations or counts).
+
+    Degenerate aggregation edges — a run with zero output tokens, a
+    rejected-only trace, a zero-span busy window — all reduce to a zero
+    denominator somewhere; funnelling every rate/share/mean through this
+    helper keeps those rows well-formed instead of scattering ``if``
+    guards at each call site.
+
+    >>> safe_ratio(6.0, 3.0)
+    2.0
+    >>> safe_ratio(6.0, 0.0)
+    0.0
+    >>> safe_ratio(0.0, 0.0, default=1.0)
+    1.0
+    """
+    if denominator <= 0:
+        return default
+    return numerator / denominator
 
 #: Row keys identifying one workload point (everything but the kernel).
 _POINT_KEYS = ("model", "scheme", "batch", "prefill_tokens", "decode_tokens", "num_ranks")
@@ -60,9 +83,7 @@ def latency_table(rows: Sequence[dict]) -> List[dict]:
                 "num_ranks": r["num_ranks"],
                 "prefill_s": r["prefill"]["latency"]["total_s"],
                 "decode_s": decode_s,
-                "decode_ms_per_token": (
-                    1e3 * decode_s / decode_tokens if decode_tokens else 0.0
-                ),
+                "decode_ms_per_token": safe_ratio(1e3 * decode_s, decode_tokens),
                 "prefill_tokens_per_s": r["prefill"]["tokens_per_s"],
                 "decode_tokens_per_s": r["decode"]["tokens_per_s"],
                 "kv_cache_mb": r["kv_cache_bytes"] / 1e6,
@@ -92,7 +113,7 @@ def energy_table(rows: Sequence[dict]) -> List[dict]:
             for component in ("dram", "wram", "compute", "host", "static"):
                 pj = energy[f"{component}_pj"]
                 entry[f"{component}_j"] = pj * 1e-12
-                entry[f"{component}_share"] = pj / total_pj if total_pj else 0.0
+                entry[f"{component}_share"] = safe_ratio(pj, total_pj)
             table.append(entry)
     return table
 
@@ -115,7 +136,7 @@ def ablation_table(rows: Sequence[dict]) -> List[dict]:
             entry = dict(zip(_POINT_KEYS, key))
             entry["kernel"] = g["kernel"]
             entry["total_s"] = g["total_s"]
-            entry["speedup"] = baseline / g["total_s"] if g["total_s"] else 0.0
+            entry["speedup"] = safe_ratio(baseline, g["total_s"])
             table.append(entry)
     return table
 
@@ -186,23 +207,21 @@ def serving_table(rows: Sequence[dict]) -> List[dict]:
                 "rejected": sum(r["status"] == "rejected" for r in group),
                 "preemptions": sum(r.get("preemptions", 0) for r in group),
                 "slo_requests": len(slo_rows),
-                "slo_attainment": (
-                    slo_met / len(slo_rows) if slo_rows else 1.0
-                ),
+                "slo_attainment": safe_ratio(slo_met, len(slo_rows), default=1.0),
                 "ttft_p50_s": percentile(ttfts, 50),
                 "ttft_p95_s": percentile(ttfts, 95),
                 "ttft_p99_s": percentile(ttfts, 99),
-                "ttft_mean_s": sum(ttfts) / len(ttfts) if ttfts else 0.0,
-                "tpot_mean_s": sum(tpots) / len(tpots) if tpots else 0.0,
+                "ttft_mean_s": safe_ratio(sum(ttfts), len(ttfts)),
+                "tpot_mean_s": safe_ratio(sum(tpots), len(tpots)),
                 "tpot_p99_s": percentile(tpots, 99),
                 "latency_p50_s": percentile(latencies, 50),
                 "latency_p95_s": percentile(latencies, 95),
                 "latency_p99_s": percentile(latencies, 99),
-                "queue_mean_s": (
-                    sum(r["queue_s"] for r in done) / len(done) if done else 0.0
+                "queue_mean_s": safe_ratio(
+                    sum(r["queue_s"] for r in done), len(done)
                 ),
                 "output_tokens": output_tokens,
-                "output_tokens_per_s": output_tokens / window if window > 0 else 0.0,
+                "output_tokens_per_s": safe_ratio(output_tokens, window),
             }
         )
     return table
@@ -242,8 +261,7 @@ def policy_table(summary_rows: Sequence[dict]) -> List[dict]:
             if key in row:
                 entry[key] = row[key]
         baseline = fcfs_p95.get(row.get("scenario"), 0.0)
-        p95 = row.get("ttft_p95_s", 0.0)
-        entry["ttft_p95_vs_fcfs"] = baseline / p95 if baseline and p95 else 0.0
+        entry["ttft_p95_vs_fcfs"] = safe_ratio(baseline, row.get("ttft_p95_s", 0.0))
         table.append(entry)
     return table
 

@@ -1,0 +1,65 @@
+"""Serving observability: lifecycle tracing, metrics and exporters.
+
+The telemetry layer for :mod:`repro.serving` — what a production fleet
+would export to its monitoring stack, reconstructed for the simulator:
+
+* :mod:`repro.obs.tracer` — typed per-request lifecycle events emitted
+  from instrumentation hooks in the rank engines; the null
+  :class:`Tracer` keeps the untraced hot path branch-cheap, the
+  :class:`RecordingTracer` records events and aggregates them,
+* :mod:`repro.obs.registry` — Prometheus-style counters, gauges,
+  log-bucketed histograms and sampled time series,
+* :mod:`repro.obs.export` — Chrome trace-event JSON (opens in Perfetto)
+  and flat timeline rows, plus the CI schema validator,
+* :mod:`repro.obs.replay` — the correctness oracle: rebuild a full
+  :class:`~repro.serving.scheduler.ServingResult` from the event stream
+  alone,
+* :mod:`repro.obs.profile` — wall-clock self-profiling of the engines'
+  own phases.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.tracer import (
+    EVENT_KINDS,
+    LIFECYCLE_KINDS,
+    TRACE_LEVELS,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+from repro.obs.export import (
+    chrome_trace,
+    timeline_rows,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_timeline,
+)
+from repro.obs.replay import replay_result
+from repro.obs.profile import SelfProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "EVENT_KINDS",
+    "LIFECYCLE_KINDS",
+    "TRACE_LEVELS",
+    "TraceEvent",
+    "Tracer",
+    "RecordingTracer",
+    "chrome_trace",
+    "timeline_rows",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_timeline",
+    "replay_result",
+    "SelfProfiler",
+]

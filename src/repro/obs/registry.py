@@ -1,0 +1,295 @@
+"""Prometheus-style metric primitives for serving telemetry.
+
+The serving tracer (:mod:`repro.obs.tracer`) aggregates the event
+stream into a :class:`MetricsRegistry` of four primitive kinds — the
+same counter/gauge/histogram model a production serving fleet exports
+for SLO monitoring:
+
+* :class:`Counter` — monotonically increasing totals (admissions,
+  preemptions, output tokens),
+* :class:`Gauge` — last-value-wins instantaneous readings with a
+  tracked maximum (per-rank KV occupancy),
+* :class:`LogHistogram` — log-bucketed latency distributions: TTFT /
+  TPOT / end-to-end percentiles with bounded relative error and O(1)
+  memory per bucket, *without* retaining every sample,
+* :class:`TimeSeries` — sampled ``(t, value)`` curves (KV occupancy,
+  running-batch size, queue depth per rank) with stride decimation so
+  million-event runs stay bounded.
+
+Metric names use ``/`` as the label separator (``rank0/kv_bytes``) —
+never ``.``, which would collide with the dotted-key CSV flattening in
+:mod:`repro.experiments.io`.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("admissions").inc()
+>>> reg.counter("admissions").inc(2)
+>>> reg.counter("admissions").value
+3
+>>> hist = reg.histogram("ttft_s")
+>>> for v in (0.1, 0.2, 0.4, 0.8):
+...     hist.observe(v)
+>>> hist.count
+4
+>>> 0.05 < hist.quantile(50) < 0.45
+True
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "TimeSeries",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing total.
+
+    >>> c = Counter("requests")
+    >>> c.inc(); c.inc(4); c.value
+    5
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the running total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous reading: last value wins, the maximum is kept.
+
+    >>> g = Gauge("kv_bytes")
+    >>> g.set(10.0); g.set(4.0)
+    >>> g.value, g.max_value
+    (4.0, 10.0)
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current reading."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+
+class LogHistogram:
+    """Log-bucketed histogram: percentiles without retaining samples.
+
+    Positive values land in geometric buckets ``(base**(k-1), base**k]``
+    (default ``base = 10**0.05``: 20 buckets per decade, so any quantile
+    estimate is within ~12% relative error of the true sample); zero and
+    negative values share a dedicated underflow bucket valued ``0.0``.
+    ``count`` and ``total`` are exact, so the mean carries no bucketing
+    error — only the quantiles are approximate.
+
+    >>> h = LogHistogram("latency_s")
+    >>> for v in [0.5] * 99 + [50.0]:
+    ...     h.observe(v)
+    >>> h.count, round(h.mean, 4)
+    (100, 0.995)
+    >>> 0.4 < h.quantile(50) < 0.6
+    True
+    >>> 40.0 < h.quantile(100) < 60.0
+    True
+    """
+
+    def __init__(self, name: str, base: float = 10 ** 0.05) -> None:
+        if base <= 1.0:
+            raise ValueError(f"histogram base must be > 1, got {base}")
+        self.name = name
+        self.base = base
+        self._log_base = math.log(base)
+        self._buckets: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value <= 0.0:
+            self.zero_count += 1
+            return
+        # Guard the exact-power boundary against float log noise.
+        k = math.ceil(round(math.log(value) / self._log_base, 9))
+        self._buckets[k] = self._buckets.get(k, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Exact sample mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q``-th percentile from the bucket counts.
+
+        Returns the geometric midpoint of the bucket holding the
+        quantile rank (0.0 for the underflow bucket, or when empty).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        if rank <= self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for k in sorted(self._buckets):
+            seen += self._buckets[k]
+            if seen >= rank:
+                return self.base ** (k - 0.5)
+        return self.base ** (max(self._buckets) - 0.5)  # pragma: no cover
+
+    def to_dict(self) -> dict:
+        """Snapshot: count/total/mean plus headline quantiles."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(50),
+            "p95": self.quantile(95),
+            "p99": self.quantile(99),
+        }
+
+
+class TimeSeries:
+    """A sampled ``(t, value)`` curve with stride decimation.
+
+    Appends are O(1); once ``max_samples`` is reached the series drops
+    every other retained point and doubles its sampling stride, so
+    memory stays bounded at ``max_samples`` while the curve keeps
+    uniform coverage of the whole run.
+
+    >>> ts = TimeSeries("kv", max_samples=4)
+    >>> for i in range(32):
+    ...     ts.sample(float(i), float(i * 10))
+    >>> len(ts.times) <= 4
+    True
+    >>> ts.times == sorted(ts.times)
+    True
+    """
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.name = name
+        self.max_samples = max_samples
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self._stride = 1
+        self._offered = 0
+
+    def sample(self, t_s: float, value: float) -> None:
+        """Offer one sample; it is retained if it lands on the stride."""
+        keep = self._offered % self._stride == 0
+        self._offered += 1
+        if not keep:
+            return
+        self.times.append(t_s)
+        self.values.append(value)
+        if len(self.times) >= self.max_samples:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self._stride *= 2
+
+    def to_rows(self) -> List[dict]:
+        """CSV/JSON-ready rows (``series`` / ``t_s`` / ``value``)."""
+        return [
+            {"series": self.name, "t_s": t, "value": v}
+            for t, v in zip(self.times, self.values)
+        ]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters, gauges, histograms and series.
+
+    Each primitive kind has its own namespace, so a counter and a gauge
+    may share a name without colliding.  :meth:`snapshot` renders the
+    whole registry as a nested JSON-ready dict.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("x") is reg.counter("x")
+    True
+    >>> reg.gauge("g").set(2.0)
+    >>> reg.snapshot()["gauges"]["g"]["max"]
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, LogHistogram] = {}
+        self.series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, base: Optional[float] = None) -> LogHistogram:
+        """The histogram under ``name`` (``base`` applies at creation)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = (
+                LogHistogram(name, base) if base is not None else LogHistogram(name)
+            )
+        return hist
+
+    def timeseries(self, name: str, max_samples: Optional[int] = None) -> TimeSeries:
+        """The time series under ``name`` (``max_samples`` at creation)."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = (
+                TimeSeries(name, max_samples)
+                if max_samples is not None
+                else TimeSeries(name)
+            )
+        return series
+
+    def series_rows(self) -> List[dict]:
+        """All time-series points as flat rows, series-major order."""
+        rows: List[dict] = []
+        for name in sorted(self.series):
+            rows.extend(self.series[name].to_rows())
+        return rows
+
+    def snapshot(self) -> dict:
+        """Nested JSON-ready dict of every registered metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "max": g.max_value}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self.histograms.items())
+            },
+            "series": {
+                n: {"samples": len(s.times)} for n, s in sorted(self.series.items())
+            },
+        }

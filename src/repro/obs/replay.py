@@ -1,0 +1,124 @@
+"""Replay a recorded trace back into serving records and rank stats.
+
+The trace layer doubles as a correctness oracle: every quantity the
+scheduler aggregates (:class:`~repro.serving.scheduler.RequestRecord`
+timestamps, :class:`~repro.serving.scheduler.RankStats` counters, busy
+time and energy) is also derivable from the ``full``-level event stream
+alone.  :func:`replay_result` performs that derivation, so
+
+``metrics_table(replay_result(tracer.events, ...)) ==
+metrics_table(original_result)``
+
+is an end-to-end check that the instrumentation hooks fire at exactly
+the points the aggregates are computed from — any missed or misplaced
+hook breaks the identity (``tests/test_obs_equivalence.py``).  Float
+sums accumulate in event order, which is the engines' accumulation
+order, so the identity holds to summation rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracer import TraceEvent
+from repro.serving.scheduler import (
+    RankStats,
+    RequestRecord,
+    ServingConfig,
+    ServingResult,
+)
+
+__all__ = ["replay_result"]
+
+
+def replay_result(
+    events: Sequence[TraceEvent],
+    config: Optional[ServingConfig] = None,
+    kv_capacity_bytes: int = 0,
+    weight_bytes: int = 0,
+) -> ServingResult:
+    """Reconstruct a :class:`ServingResult` from a ``full``-level trace.
+
+    ``config`` sizes the rank-stats list (its ``num_ranks``) and is
+    carried through verbatim; ``kv_capacity_bytes`` / ``weight_bytes``
+    are pass-through context (the trace does not encode them).  Raises
+    :class:`ValueError` when a non-arrive event references a request the
+    trace never saw arrive — a truncated or reordered trace.
+    """
+    config = config if config is not None else ServingConfig()
+    stats = {rank: RankStats(rank=rank) for rank in range(config.num_ranks)}
+    records: Dict[int, RequestRecord] = {}
+    finish: Dict[int, float] = {}
+
+    def rank_stats(rank: int) -> RankStats:
+        entry = stats.get(rank)
+        if entry is None:  # more ranks than the config claims
+            entry = stats[rank] = RankStats(rank=rank)
+        return entry
+
+    def record(event: TraceEvent) -> RequestRecord:
+        try:
+            return records[event.req_id]
+        except KeyError:
+            raise ValueError(
+                f"{event.kind} event for request {event.req_id} with no "
+                f"preceding arrive event; trace is truncated or reordered"
+            ) from None
+
+    for event in events:
+        kind, t, rank, data = event.kind, event.t_s, event.rank, event.data
+        rs = rank_stats(rank)
+        if kind != "arrive":
+            finish[rank] = max(finish.get(rank, 0.0), t)
+        if kind == "arrive":
+            records[event.req_id] = RequestRecord(
+                req_id=event.req_id,
+                rank=rank,
+                arrival_s=t,
+                prompt_tokens=data["prompt_tokens"],
+                gen_tokens=data["gen_tokens"],
+                priority=data["priority"],
+                slo_ttft_s=data["slo_ttft_s"],
+            )
+        elif kind == "admit":
+            rec = record(event)
+            if rec.admit_s is None:
+                rec.admit_s = t
+            else:
+                rs.requeues += 1
+                rs.recompute_tokens += data["prefix_tokens"]
+            if data["kv_used_bytes"] > rs.kv_peak_bytes:
+                rs.kv_peak_bytes = data["kv_used_bytes"]
+        elif kind == "preempt":
+            record(event).preemptions += 1
+            rs.preemptions += 1
+        elif kind == "reject":
+            record(event).status = "rejected"
+        elif kind == "prefill_chunk_end":
+            record(event)
+            rs.prefill_tokens += data["chunk_tokens"]
+            rs.busy_s += data["latency_s"]
+            rs.energy_j += data["energy_j"]
+        elif kind == "first_token":
+            record(event).first_token_s = t
+        elif kind == "decode_segment":
+            rs.decode_iterations += data["tokens"]
+            rs.output_tokens += data["tokens"] * data["batch"]
+            rs.busy_s += data["latency_s"]
+            rs.energy_j += data["energy_j"]
+        elif kind == "finish":
+            record(event).finish_s = t
+
+    for rank, rs in stats.items():
+        rs.finish_s = finish.get(rank, 0.0)
+
+    ordered: List[RequestRecord] = sorted(
+        records.values(), key=lambda rec: rec.req_id
+    )
+    return ServingResult(
+        config=config,
+        records=ordered,
+        rank_stats=[stats[r] for r in sorted(stats)],
+        kv_capacity_bytes=kv_capacity_bytes,
+        weight_bytes=weight_bytes,
+    )

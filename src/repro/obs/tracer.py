@@ -1,0 +1,341 @@
+"""Per-request lifecycle tracing for the serving engines.
+
+The rank engines in :mod:`repro.serving.scheduler` carry instrumentation
+hooks that emit **typed lifecycle events** (:data:`EVENT_KINDS`) through
+a :class:`Tracer`:
+
+================== ======================================================
+``arrive``          request joined the rank's queue (t = arrival time)
+``admit``           KV reservation made, prefill scheduled (``readmit``
+                    marks a re-admission after preemption)
+``preempt``         KV-pressure eviction: the victim's KV is dropped
+``requeue``         the evicted victim re-enters the ready queue
+``reject``          the request can never fit the KV budget
+``prefill_chunk_start`` / ``prefill_chunk_end``
+                    one prefill chunk's span (whole prompts are the
+                    single-chunk case)
+``first_token``     the request's first generated token
+``decode_segment``  one engine decode advance (rank-level, no request):
+                    the per-token loop emits ``tokens=1`` per iteration,
+                    the event engine one multi-token segment per
+                    scheduler event
+``finish``          last token produced, KV released
+================== ======================================================
+
+The default is **no tracer at all**: the engines guard every hook behind
+a single ``is not None`` check, so the untraced hot path pays one
+branch per scheduler event (see the overhead floor in
+``tools/bench.py``).  :class:`Tracer` itself is the no-op null
+implementation; :class:`RecordingTracer` appends :class:`TraceEvent`
+records and double-enters them into a
+:class:`~repro.obs.registry.MetricsRegistry` (lifecycle counters, TTFT /
+TPOT / latency / queue-wait log-histograms, and — at level ``full`` —
+sampled per-rank KV / batch / queue-depth time series).
+
+Every lifecycle event except ``decode_segment`` is request-scoped and
+engine-independent: the event and loop engines emit the *same* kind
+sequence per request with timestamps equal to float rounding
+(``tests/test_obs_equivalence.py`` pins this), which is what makes the
+trace a correctness oracle — aggregates recomputed from it by
+:func:`repro.obs.replay.replay_result` must match
+:func:`repro.serving.metrics.metrics_table` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "EVENT_KINDS",
+    "LIFECYCLE_KINDS",
+    "TRACE_LEVELS",
+    "TraceEvent",
+    "Tracer",
+    "RecordingTracer",
+]
+
+#: Every event kind a rank engine can emit.
+EVENT_KINDS = (
+    "arrive",
+    "admit",
+    "preempt",
+    "requeue",
+    "reject",
+    "prefill_chunk_start",
+    "prefill_chunk_end",
+    "first_token",
+    "decode_segment",
+    "finish",
+)
+
+#: Request-scoped kinds, identical across engines (``decode_segment`` is
+#: engine-granularity: per token for the loop, per segment for the event
+#: engine).
+LIFECYCLE_KINDS = tuple(k for k in EVENT_KINDS if k != "decode_segment")
+
+#: Recording levels: ``lifecycle`` keeps request-scoped events only;
+#: ``full`` adds decode segments and sampled per-rank time series (what
+#: the replay oracle and the Chrome-trace counter tracks need).
+TRACE_LEVELS = ("lifecycle", "full")
+
+
+@dataclass
+class TraceEvent:
+    """One typed engine event.
+
+    ``t_s`` is the simulation clock at emission (for span-like kinds the
+    *end* of the span; ``prefill_chunk_start`` carries the start).
+    ``req_id`` is ``None`` for rank-scoped kinds (``decode_segment``).
+    ``data`` holds the kind-specific payload (token counts, KV bytes,
+    latency and energy of costed spans).
+    """
+
+    kind: str
+    t_s: float
+    rank: int
+    req_id: Optional[int] = None
+    data: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """The null tracer: every hook is a no-op and ``enabled`` is False.
+
+    The engines skip hook calls entirely when ``enabled`` is false (they
+    keep ``None`` instead of the tracer), so this class is both the
+    do-nothing default and the documentation of the hook surface.
+    Subclasses override the hooks they care about and set ``enabled``.
+    """
+
+    #: Engines only call hooks when this is true.
+    enabled = False
+    #: Engines only call :meth:`sample` / :meth:`decode_segment` when
+    #: this is true (the ``full`` recording level).
+    wants_engine_detail = False
+
+    def arrive(self, t_s: float, rank: int, request) -> None:
+        """A request reached its rank's queue."""
+
+    def admit(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
+              kv_used_bytes: int, readmit: bool, prefix_tokens: int) -> None:
+        """A request reserved KV and entered the prefill stage."""
+
+    def preempt(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
+                tokens_out: int) -> None:
+        """A running request was evicted under KV pressure."""
+
+    def requeue(self, t_s: float, rank: int, req_id: int) -> None:
+        """An evicted request re-entered the ready queue."""
+
+    def reject(self, t_s: float, rank: int, req_id: int, kv_bytes: int) -> None:
+        """A request that can never fit the KV budget was rejected."""
+
+    def prefill_chunk_start(self, t_s: float, rank: int, req_id: int,
+                            done_tokens: int, chunk_tokens: int) -> None:
+        """One prefill chunk began (``t_s`` is the chunk start)."""
+
+    def prefill_chunk_end(self, t_s: float, rank: int, req_id: int,
+                          chunk_tokens: int, latency_s: float,
+                          energy_j: float) -> None:
+        """One prefill chunk completed (``t_s`` is the chunk end)."""
+
+    def first_token(self, t_s: float, rank: int, req_id: int) -> None:
+        """A request produced its first generated token."""
+
+    def decode_segment(self, t_s: float, rank: int, batch: int, tokens: int,
+                       latency_s: float, energy_j: float) -> None:
+        """The running batch advanced ``tokens`` decode iterations."""
+
+    def finish(self, t_s: float, rank: int, req_id: int, tokens_out: int) -> None:
+        """A request produced its last token and released its KV."""
+
+    def sample(self, t_s: float, rank: int, kv_used_bytes: int, batch: int,
+               queue_depth: int) -> None:
+        """Periodic rank snapshot: KV occupancy, batch size, queue depth."""
+
+
+class RecordingTracer(Tracer):
+    """Record engine events and aggregate them into a metric registry.
+
+    ``level`` is one of :data:`TRACE_LEVELS`.  At ``lifecycle`` only
+    request-scoped events are kept; ``full`` adds rank-level decode
+    segments and the sampled KV / batch / queue-depth time series, which
+    the Chrome-trace exporter renders as counter tracks and
+    :func:`repro.obs.replay.replay_result` replays into a full
+    :class:`~repro.serving.scheduler.ServingResult`.
+
+    Attributes
+    ----------
+    events:
+        Chronological (per rank) :class:`TraceEvent` list.
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` the events are
+        double-entered into.
+    """
+
+    enabled = True
+
+    def __init__(self, level: str = "full", max_series_samples: int = 4096) -> None:
+        if level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace level {level!r}; expected one of {TRACE_LEVELS}"
+            )
+        self.level = level
+        self.wants_engine_detail = level == "full"
+        self.events: List[TraceEvent] = []
+        self.registry = MetricsRegistry()
+        self._max_series_samples = max_series_samples
+        # Per-request (arrival_s, gen_tokens, admit_s, first_token_s),
+        # kept so finish events can observe TTFT/TPOT/latency/queue
+        # histograms without a second pass.
+        self._inflight: Dict[int, List[float]] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def events_for(self, req_id: Optional[int]) -> List[TraceEvent]:
+        """All recorded events scoped to one request id."""
+        return [e for e in self.events if e.req_id == req_id]
+
+    def lifecycle_events(self) -> List[TraceEvent]:
+        """Recorded request-scoped events (:data:`LIFECYCLE_KINDS`)."""
+        return [e for e in self.events if e.kind != "decode_segment"]
+
+    def lifecycle_by_request(self) -> Dict[int, List[TraceEvent]]:
+        """Per-request lifecycle sequences, keyed by request id."""
+        grouped: Dict[int, List[TraceEvent]] = {}
+        for event in self.lifecycle_events():
+            grouped.setdefault(event.req_id, []).append(event)
+        return grouped
+
+    # -- hooks ---------------------------------------------------------------
+
+    def arrive(self, t_s: float, rank: int, request) -> None:
+        """Record the arrival and open the in-flight tracking entry."""
+        self.events.append(TraceEvent(
+            "arrive", t_s, rank, request.req_id,
+            {
+                "prompt_tokens": request.prompt_tokens,
+                "gen_tokens": request.gen_tokens,
+                "priority": request.priority,
+                "slo_ttft_s": request.slo_ttft_s,
+            },
+        ))
+        self.registry.counter("arrivals").inc()
+        self._inflight[request.req_id] = [t_s, float(request.gen_tokens), -1.0, -1.0]
+
+    def admit(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
+              kv_used_bytes: int, readmit: bool, prefix_tokens: int) -> None:
+        """Record the admission and update the KV-occupancy gauge."""
+        self.events.append(TraceEvent(
+            "admit", t_s, rank, req_id,
+            {
+                "kv_bytes": kv_bytes,
+                "kv_used_bytes": kv_used_bytes,
+                "readmit": readmit,
+                "prefix_tokens": prefix_tokens,
+            },
+        ))
+        self.registry.counter("admissions").inc()
+        if readmit:
+            self.registry.counter("requeues").inc()
+            self.registry.counter("recompute_tokens").inc(prefix_tokens)
+        self.registry.gauge(f"rank{rank}/kv_used_bytes").set(float(kv_used_bytes))
+        entry = self._inflight.get(req_id)
+        if entry is not None and entry[2] < 0.0:
+            entry[2] = t_s
+
+    def preempt(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
+                tokens_out: int) -> None:
+        """Record the eviction."""
+        self.events.append(TraceEvent(
+            "preempt", t_s, rank, req_id,
+            {"kv_bytes": kv_bytes, "tokens_out": tokens_out},
+        ))
+        self.registry.counter("preemptions").inc()
+
+    def requeue(self, t_s: float, rank: int, req_id: int) -> None:
+        """Record the victim's return to the ready queue."""
+        self.events.append(TraceEvent("requeue", t_s, rank, req_id))
+
+    def reject(self, t_s: float, rank: int, req_id: int, kv_bytes: int) -> None:
+        """Record the rejection and close the in-flight entry."""
+        self.events.append(TraceEvent(
+            "reject", t_s, rank, req_id, {"kv_bytes": kv_bytes}
+        ))
+        self.registry.counter("rejections").inc()
+        self._inflight.pop(req_id, None)
+
+    def prefill_chunk_start(self, t_s: float, rank: int, req_id: int,
+                            done_tokens: int, chunk_tokens: int) -> None:
+        """Record the chunk start."""
+        self.events.append(TraceEvent(
+            "prefill_chunk_start", t_s, rank, req_id,
+            {"done_tokens": done_tokens, "chunk_tokens": chunk_tokens},
+        ))
+
+    def prefill_chunk_end(self, t_s: float, rank: int, req_id: int,
+                          chunk_tokens: int, latency_s: float,
+                          energy_j: float) -> None:
+        """Record the chunk end with its costed latency and energy."""
+        self.events.append(TraceEvent(
+            "prefill_chunk_end", t_s, rank, req_id,
+            {
+                "chunk_tokens": chunk_tokens,
+                "latency_s": latency_s,
+                "energy_j": energy_j,
+            },
+        ))
+        self.registry.counter("prefill_chunks").inc()
+        self.registry.counter("prefill_tokens").inc(chunk_tokens)
+
+    def first_token(self, t_s: float, rank: int, req_id: int) -> None:
+        """Record the first token and observe the TTFT histogram."""
+        self.events.append(TraceEvent("first_token", t_s, rank, req_id))
+        entry = self._inflight.get(req_id)
+        if entry is not None:
+            entry[3] = t_s
+            self.registry.histogram("ttft_s").observe(t_s - entry[0])
+
+    def decode_segment(self, t_s: float, rank: int, batch: int, tokens: int,
+                       latency_s: float, energy_j: float) -> None:
+        """Record one rank-level decode advance (``full`` level only)."""
+        self.events.append(TraceEvent(
+            "decode_segment", t_s, rank, None,
+            {
+                "batch": batch,
+                "tokens": tokens,
+                "latency_s": latency_s,
+                "energy_j": energy_j,
+            },
+        ))
+        self.registry.counter("decode_segments").inc()
+        self.registry.counter("output_tokens").inc(tokens * batch)
+
+    def finish(self, t_s: float, rank: int, req_id: int, tokens_out: int) -> None:
+        """Record the completion and observe latency/TPOT/queue hists."""
+        self.events.append(TraceEvent(
+            "finish", t_s, rank, req_id, {"tokens_out": tokens_out}
+        ))
+        self.registry.counter("completions").inc()
+        entry = self._inflight.pop(req_id, None)
+        if entry is None:
+            return
+        arrival, gen_tokens, admit, first = entry
+        self.registry.histogram("latency_s").observe(t_s - arrival)
+        if admit >= 0.0:
+            self.registry.histogram("queue_s").observe(admit - arrival)
+        if first >= 0.0 and gen_tokens >= 2:
+            self.registry.histogram("tpot_s").observe(
+                (t_s - first) / (gen_tokens - 1.0)
+            )
+
+    def sample(self, t_s: float, rank: int, kv_used_bytes: int, batch: int,
+               queue_depth: int) -> None:
+        """Append one point to each of the rank's sampled time series."""
+        cap = self._max_series_samples
+        reg = self.registry
+        reg.timeseries(f"rank{rank}/kv_bytes", cap).sample(t_s, float(kv_used_bytes))
+        reg.timeseries(f"rank{rank}/batch", cap).sample(t_s, float(batch))
+        reg.timeseries(f"rank{rank}/queue_depth", cap).sample(t_s, float(queue_depth))

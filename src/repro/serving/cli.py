@@ -29,6 +29,13 @@ Scale check: a 100k-request bursty trace on the event-driven engine::
 
     python -m repro.serving --requests 100000 --scenario bursty \\
         --model gpt-1.3b --quiet
+
+Record a full lifecycle trace and open it in Perfetto
+(https://ui.perfetto.dev)::
+
+    python -m repro.serving --scenario bursty --requests 128 \\
+        --trace-out /tmp/serving.trace.json \\
+        --timeline-out /tmp/serving.timeline.csv
 """
 
 from __future__ import annotations
@@ -41,6 +48,12 @@ from typing import List, Optional, Sequence, Tuple
 from repro.experiments.io import write_csv, write_json
 from repro.experiments.tables import format_table, policy_table
 from repro.kernels.cost import COST_KERNELS
+from repro.obs import (
+    TRACE_LEVELS,
+    RecordingTracer,
+    write_chrome_trace,
+    write_timeline,
+)
 from repro.serving.metrics import metrics_table, record_rows, summary
 from repro.serving.policy import POLICIES
 from repro.serving.scheduler import ENGINES, ServingConfig, simulate_trace
@@ -113,6 +126,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "(must match --tiers in length)")
     trace.add_argument("--seed", type=int, default=0, metavar="N",
                        help="trace RNG seed")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record a lifecycle trace of the primary run and write it as "
+             "Chrome trace-event JSON (opens in Perfetto / chrome://tracing)",
+    )
+    obs.add_argument(
+        "--timeline-out", default=None, metavar="PATH",
+        help="write the recorded event timeline (.csv = flat event rows; "
+             "anything else a JSON payload bundling events, sampled series "
+             "and the metric-registry snapshot)",
+    )
+    obs.add_argument(
+        "--trace-level", default="full", metavar="LEVEL",
+        help=f"trace detail ({', '.join(TRACE_LEVELS)}; full adds "
+             "decode-segment slices and sampled KV/batch/queue counter "
+             "tracks; default full)",
+    )
     parser.add_argument(
         "--output", default=None, metavar="PATH",
         help="write results to PATH (.csv writes the metrics table, or the "
@@ -189,6 +220,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         _validate_args(args)
+        if args.trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"--trace-level must be one of {', '.join(TRACE_LEVELS)}, "
+                f"got {args.trace_level!r}"
+            )
+        tracer = (
+            RecordingTracer(args.trace_level)
+            if args.trace_out or args.timeline_out
+            else None
+        )
         spec = TraceSpec(
             num_requests=args.requests,
             arrival_rate_per_s=args.arrival_rate,
@@ -215,7 +256,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             engine=args.engine,
         )
         requests = generate_trace(spec)
-        result = simulate_trace(requests, config)
+        result = simulate_trace(requests, config, tracer=tracer)
         comparison = []
         if args.compare:
             others = [name for name in sorted(POLICIES) if name != config.policy]
@@ -288,4 +329,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if not args.quiet:
             print(f"\nwrote {args.output}")
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, tracer)
+        if not args.quiet:
+            print(f"wrote {args.trace_out} ({len(tracer.events)} events; "
+                  f"open in https://ui.perfetto.dev)")
+    if args.timeline_out:
+        write_timeline(args.timeline_out, tracer)
+        if not args.quiet:
+            print(f"wrote {args.timeline_out}")
     return 0

@@ -31,14 +31,20 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.experiments.tables import serving_table
+from repro.experiments.tables import safe_ratio, serving_table
 from repro.serving.scheduler import ServingResult
 
 __all__ = ["record_rows", "metrics_table", "summary"]
 
 
 def record_rows(result: ServingResult) -> List[dict]:
-    """One JSON/CSV-ready row per request in ``result``."""
+    """One JSON/CSV-ready row per request in ``result``.
+
+    Requests that never reached a milestone (a rejected request has no
+    admission, a truncated run may have no finish) carry ``None`` for
+    that timestamp — rendered as JSON ``null`` and an empty CSV cell —
+    rather than a fake ``0.0`` that would read as "at trace start".
+    """
     rows = []
     for rec in result.records:
         rows.append(
@@ -52,11 +58,9 @@ def record_rows(result: ServingResult) -> List[dict]:
                 "priority": rec.priority,
                 "slo_ttft_s": rec.slo_ttft_s,
                 "preemptions": rec.preemptions,
-                "admit_s": rec.admit_s if rec.admit_s is not None else 0.0,
-                "first_token_s": (
-                    rec.first_token_s if rec.first_token_s is not None else 0.0
-                ),
-                "finish_s": rec.finish_s if rec.finish_s is not None else 0.0,
+                "admit_s": rec.admit_s,
+                "first_token_s": rec.first_token_s,
+                "finish_s": rec.finish_s,
                 "queue_s": rec.queue_s,
                 "ttft_s": rec.ttft_s,
                 "tpot_s": rec.tpot_s,
@@ -82,14 +86,12 @@ def metrics_table(result: ServingResult) -> List[dict]:
         row["makespan_s"] = result.makespan_s
         row["prefill_tokens"] = result.prefill_tokens
         row["energy_j"] = result.total_energy_j
-        row["energy_mj_per_token"] = (
-            1e3 * result.total_energy_j / output_tokens if output_tokens else 0.0
+        row["energy_mj_per_token"] = safe_ratio(
+            1e3 * result.total_energy_j, output_tokens
         )
-        row["utilization"] = (
-            sum(rs.busy_s for rs in result.rank_stats)
-            / (len(result.rank_stats) * result.makespan_s)
-            if result.makespan_s > 0
-            else 0.0
+        row["utilization"] = safe_ratio(
+            sum(rs.busy_s for rs in result.rank_stats),
+            len(result.rank_stats) * result.makespan_s,
         )
         row["requeues"] = sum(rs.requeues for rs in result.rank_stats)
         row["recompute_tokens"] = sum(
@@ -105,9 +107,7 @@ def metrics_table(result: ServingResult) -> List[dict]:
         row["makespan_s"] = rs.finish_s
         row["prefill_tokens"] = rs.prefill_tokens
         row["energy_j"] = rs.energy_j
-        row["energy_mj_per_token"] = (
-            1e3 * rs.energy_j / rs.output_tokens if rs.output_tokens else 0.0
-        )
+        row["energy_mj_per_token"] = safe_ratio(1e3 * rs.energy_j, rs.output_tokens)
         row["utilization"] = rs.utilization
         row["requeues"] = rs.requeues
         row["recompute_tokens"] = rs.recompute_tokens

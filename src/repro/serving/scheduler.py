@@ -51,6 +51,15 @@ substrate the way a production serving stack would:
   :func:`~repro.model.cost.model_inference_cost`), otherwise admission
   stalls until running requests complete.  A request that can never
   fit is rejected up front.
+* **Observability hooks** — every scheduling decision (arrival,
+  admission, preemption, requeue, prefill chunk, first token, decode
+  advance, finish, rejection) is emitted through a
+  :class:`repro.obs.tracer.Tracer` when one is passed to
+  :func:`simulate_trace`; the default is no tracer at all, so the
+  untraced hot path pays one ``is not None`` branch per scheduler
+  event.  A :class:`repro.obs.profile.SelfProfiler` likewise times the
+  engine's own phases (admission, prefill, decode, closed-form segment
+  costing) in host wall-clock when requested.
 
 Iteration latency and energy come from the same closed-form cost spine
 as :func:`repro.model.cost.model_inference_cost` — per-batch weight-step
@@ -71,6 +80,7 @@ import heapq
 import inspect
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kernels.cost import COST_KERNELS
@@ -481,11 +491,23 @@ class _RankEngine:
         config: ServingConfig,
         kv_capacity: int,
         policy: SchedulingPolicy,
+        tracer=None,
+        profiler=None,
     ) -> None:
         self.cache = cache
         self.config = config
         self.kv_capacity = kv_capacity
         self.policy = policy
+        self.rank = rank
+        # Null-tracer fast path: a disabled (or absent) tracer is stored
+        # as None, so every hook site is one `is not None` branch.
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+        self._detail = (
+            self._trace is not None and self._trace.wants_engine_detail
+        )
+        self.profiler = profiler
         self.stats = RankStats(rank=rank)
         self.records: List[RequestRecord] = []
         model = cache.model
@@ -517,7 +539,11 @@ class _RankEngine:
 
     def _collect_arrivals(self) -> None:
         while self.pending and self.pending[0].request.arrival_s <= self.clock:
-            self._enqueue(self.pending.popleft())
+            state = self.pending.popleft()
+            if self._trace is not None:
+                self._trace.arrive(state.request.arrival_s, self.rank,
+                                   state.request)
+            self._enqueue(state)
 
     # -- admission + preemption ---------------------------------------------
 
@@ -528,6 +554,12 @@ class _RankEngine:
             victim.record.preemptions += 1
             self.stats.preemptions += 1
             victim.prefix_done = 0
+            if self._trace is not None:
+                self._trace.preempt(self.clock, self.rank,
+                                    victim.record.req_id, victim.kv_bytes,
+                                    victim.tokens_out)
+                self._trace.requeue(self.clock, self.rank,
+                                    victim.record.req_id)
             self._enqueue(victim)
 
     def _admit(self) -> None:
@@ -538,6 +570,9 @@ class _RankEngine:
             if state.kv_bytes > self.kv_capacity:
                 state.record.status = "rejected"
                 self.records.append(state.record)
+                if self._trace is not None:
+                    self._trace.reject(self.clock, self.rank,
+                                       state.record.req_id, state.kv_bytes)
                 continue
             if self.kv_used + state.kv_bytes > self.kv_capacity:
                 need = self.kv_used + state.kv_bytes - self.kv_capacity
@@ -552,7 +587,8 @@ class _RankEngine:
                     break
             self.kv_used += state.kv_bytes
             self.stats.kv_peak_bytes = max(self.stats.kv_peak_bytes, self.kv_used)
-            if state.record.admit_s is None:
+            readmit = state.record.admit_s is not None
+            if not readmit:
                 state.record.admit_s = self.clock
             else:
                 self.stats.requeues += 1
@@ -561,6 +597,10 @@ class _RankEngine:
                 )
             state.prefix_target = state.request.prompt_tokens + state.tokens_out
             state.prefix_done = 0
+            if self._trace is not None:
+                self._trace.admit(self.clock, self.rank, state.record.req_id,
+                                  state.kv_bytes, self.kv_used, readmit,
+                                  state.prefix_target)
             self.prefilling.append(state)
 
     # -- work stages ---------------------------------------------------------
@@ -571,11 +611,19 @@ class _RankEngine:
             remaining = state.prefix_target - state.prefix_done
             chunk = min(self.policy.prefill_chunk(remaining), remaining)
             latency, energy = self.cache.prefill_chunk(state.prefix_done, chunk)
+            if self._trace is not None:
+                self._trace.prefill_chunk_start(self.clock, self.rank,
+                                                state.record.req_id,
+                                                state.prefix_done, chunk)
             self.clock += latency
             self.stats.busy_s += latency
             self.stats.energy_j += energy
             self.stats.prefill_tokens += chunk
             state.prefix_done += chunk
+            if self._trace is not None:
+                self._trace.prefill_chunk_end(self.clock, self.rank,
+                                              state.record.req_id, chunk,
+                                              latency, energy)
             if state.prefix_done >= state.prefix_target:
                 self.running.append(state)
             else:
@@ -593,16 +641,26 @@ class _RankEngine:
         self.stats.busy_s += latency
         self.stats.energy_j += energy
         self.stats.decode_iterations += 1
+        trace = self._trace
+        if self._detail:
+            trace.decode_segment(self.clock, self.rank, len(self.running), 1,
+                                 latency, energy)
         still_running: List[_RequestState] = []
         for state in self.running:
             state.tokens_out += 1
             self.stats.output_tokens += 1
             if state.tokens_out == 1:
                 state.record.first_token_s = self.clock
+                if trace is not None:
+                    trace.first_token(self.clock, self.rank,
+                                      state.record.req_id)
             if state.tokens_out >= state.request.gen_tokens:
                 state.record.finish_s = self.clock
                 self.kv_used -= state.kv_bytes
                 self.records.append(state.record)
+                if trace is not None:
+                    trace.finish(self.clock, self.rank, state.record.req_id,
+                                 state.tokens_out)
             else:
                 still_running.append(state)
         self.running = still_running
@@ -648,6 +706,7 @@ class _RankEngine:
         from the segment's first iteration boundary, computed exactly
         the way :meth:`_decode_iteration` would.
         """
+        costing_t0 = perf_counter() if self.profiler is not None else 0.0
         tokens = min(
             state.request.gen_tokens - state.tokens_out for state in self.running
         )
@@ -669,6 +728,8 @@ class _RankEngine:
             attn_latency, attn_energy = self.cache.attn_segment(kv + 1, kv + tokens)
             latency += attn_latency
             energy += attn_energy
+        if self.profiler is not None:
+            self.profiler.add("segment_costing", perf_counter() - costing_t0)
         if any(state.tokens_out == 0 for state in self.running):
             # Clock after the segment's first iteration, accumulated in
             # the same order as the per-token loop.
@@ -677,14 +738,22 @@ class _RankEngine:
                 kv = state.request.prompt_tokens + state.tokens_out + 1
                 first_latency += self.cache.attn_step(kv)[0]
             first_boundary = self.clock + first_latency
+            trace = self._trace
             for state in self.running:
                 if state.tokens_out == 0:
                     state.record.first_token_s = first_boundary
+                    if trace is not None:
+                        trace.first_token(first_boundary, self.rank,
+                                          state.record.req_id)
         self.clock += latency
         self.stats.busy_s += latency
         self.stats.energy_j += energy
         self.stats.decode_iterations += tokens
         self.stats.output_tokens += tokens * batch
+        trace = self._trace
+        if self._detail:
+            trace.decode_segment(self.clock, self.rank, batch, tokens,
+                                 latency, energy)
         still_running: List[_RequestState] = []
         for state in self.running:
             state.tokens_out += tokens
@@ -692,6 +761,9 @@ class _RankEngine:
                 state.record.finish_s = self.clock
                 self.kv_used -= state.kv_bytes
                 self.records.append(state.record)
+                if trace is not None:
+                    trace.finish(self.clock, self.rank, state.record.req_id,
+                                 state.tokens_out)
             else:
                 still_running.append(state)
         self.running = still_running
@@ -699,15 +771,30 @@ class _RankEngine:
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> Tuple[List[RequestRecord], RankStats]:
+        prof = self.profiler
+        sampling = self._detail
         while self.pending or self.ready or self.prefilling or self.running:
+            if prof is not None:
+                t0 = perf_counter()
             self._collect_arrivals()
             self._admit()
+            if sampling:
+                self._trace.sample(self.clock, self.rank, self.kv_used,
+                                   len(self.running), len(self.ready))
+            if prof is not None:
+                t1 = perf_counter()
+                prof.add("admission", t1 - t0)
             self._prefill_stage()
+            if prof is not None:
+                t2 = perf_counter()
+                prof.add("prefill", t2 - t1)
             if self.running:
                 if self._event_driven and not self.prefilling:
                     self._decode_segment()
                 else:
                     self._decode_iteration()
+                if prof is not None:
+                    prof.add("decode", perf_counter() - t2)
             elif not self.prefilling and self.pending:
                 # Idle: jump to the next arrival.
                 self.clock = max(self.clock, self.pending[0].request.arrival_s)
@@ -721,6 +808,8 @@ def simulate_trace(
     scheme_policy: Optional[SchemePolicy] = None,
     energy_model: Optional[EnergyModel] = None,
     sched_policy: Optional[SchedulingPolicy] = None,
+    tracer=None,
+    profiler=None,
 ) -> ServingResult:
     """Simulate serving ``trace`` under ``config``; returns the full result.
 
@@ -730,6 +819,11 @@ def simulate_trace(
     to the uniform ``config.scheme`` quantization policy;
     ``sched_policy`` overrides the scheduling policy named by
     ``config.policy`` (useful for pre-configured policy instances).
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`, e.g. the recording
+    tracer) receives every engine lifecycle event; ``profiler`` (a
+    :class:`repro.obs.profile.SelfProfiler`) accumulates the engines'
+    own wall-clock phase times.  Both default to off with no hot-path
+    cost beyond one branch per scheduler event.
 
     Raises
     ------
@@ -765,7 +859,8 @@ def simulate_trace(
     records: List[RequestRecord] = []
     rank_stats: List[RankStats] = []
     for rank, shard in enumerate(shards):
-        engine = _RankEngine(rank, shard, cache, config, kv_capacity, sched_policy)
+        engine = _RankEngine(rank, shard, cache, config, kv_capacity,
+                             sched_policy, tracer=tracer, profiler=profiler)
         shard_records, shard_stats = engine.run()
         records.extend(shard_records)
         rank_stats.append(shard_stats)

@@ -1,0 +1,192 @@
+"""Trace/metrics equivalence: the observability layer as an oracle.
+
+Two identities are pinned across a seeded grid of scenarios, policies
+and deployments (including the KV-starved configs that provably fire
+preemption):
+
+1. **Engine equivalence** — the event-driven and per-token loop engines
+   emit identical per-request lifecycle sequences (same kinds in the
+   same order, timestamps equal to 1e-9).  ``decode_segment`` is
+   engine-granularity (one per token for the loop, one per closed-form
+   segment for the event engine) and is excluded by definition
+   (:data:`repro.obs.tracer.LIFECYCLE_KINDS`).
+2. **Replay identity** — aggregates recomputed from the ``full`` event
+   stream alone (:func:`repro.obs.replay.replay_result`) reproduce
+   :func:`repro.serving.metrics.metrics_table` exactly: int fields
+   equal, float fields to 1e-9.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.obs import RecordingTracer, replay_result
+from repro.serving import (
+    POLICIES,
+    SCENARIOS,
+    ServingConfig,
+    TraceSpec,
+    generate_trace,
+    metrics_table,
+    simulate_trace,
+)
+
+SEEDS = range(6)
+
+
+def _spec(seed):
+    """Bursty/steady/diurnal mix; odd seeds pair slow arrivals with the
+    starved deployment so preemption provably fires (the same recipe as
+    the serving invariant harness)."""
+    slow = seed % 2
+    return TraceSpec(
+        num_requests=12 + (seed % 3) * 4,
+        arrival_rate_per_s=(
+            0.002 + 0.001 * (seed % 4) if slow else 0.5 + 0.25 * (seed % 4)
+        ),
+        scenario=SCENARIOS[seed % len(SCENARIOS)],
+        prompt_mean=96.0 + 48.0 * (seed % 3),
+        prompt_sigma=0.8,
+        prompt_max=512,
+        gen_mean=64.0,
+        gen_max=512,
+        priority_weights=(0.3, 0.7),
+        slo_ttft_s=(50.0, 500.0),
+        seed=seed,
+    )
+
+
+def _config(policy, seed):
+    if seed % 2:  # KV-starved single rank: fires preemption
+        return ServingConfig(model="gpt-125m", num_ranks=1, dpus_per_rank=1,
+                             max_batch=16, policy=policy,
+                             prefill_chunk_tokens=16)
+    return ServingConfig(model="gpt-125m", num_ranks=2, dpus_per_rank=8,
+                         max_batch=8, policy=policy, prefill_chunk_tokens=16)
+
+
+def _traced(trace, config, engine):
+    tracer = RecordingTracer("full")
+    result = simulate_trace(
+        trace, dataclasses.replace(config, engine=engine), tracer=tracer
+    )
+    return tracer, result
+
+
+def _assert_tables_match(expected, actual, context):
+    assert len(expected) == len(actual), context
+    for row_e, row_a in zip(expected, actual):
+        assert row_e.keys() == row_a.keys(), context
+        for key in row_e:
+            ve, va = row_e[key], row_a[key]
+            if isinstance(ve, float):
+                assert math.isclose(ve, va, rel_tol=1e-9, abs_tol=1e-12), (
+                    context, key, ve, va
+                )
+            else:
+                assert ve == va, (context, key, ve, va)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_engines_emit_equivalent_lifecycle_sequences(seed, policy):
+    trace = generate_trace(_spec(seed))
+    config = _config(policy, seed)
+    ev_tracer, _ = _traced(trace, config, "event")
+    lp_tracer, _ = _traced(trace, config, "loop")
+    ev, lp = ev_tracer.lifecycle_by_request(), lp_tracer.lifecycle_by_request()
+    assert ev.keys() == lp.keys()
+    for req_id in ev:
+        kinds_ev = [e.kind for e in ev[req_id]]
+        kinds_lp = [e.kind for e in lp[req_id]]
+        assert kinds_ev == kinds_lp, (seed, policy, req_id)
+        for a, b in zip(ev[req_id], lp[req_id]):
+            assert a.rank == b.rank
+            assert math.isclose(a.t_s, b.t_s, rel_tol=1e-9, abs_tol=1e-12), (
+                seed, policy, req_id, a, b
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("engine", ("event", "loop"))
+def test_replayed_aggregates_match_metrics_table(seed, engine):
+    trace = generate_trace(_spec(seed))
+    for policy in sorted(POLICIES):
+        config = _config(policy, seed)
+        tracer, result = _traced(trace, config, engine)
+        replayed = replay_result(
+            tracer.events, result.config,
+            result.kv_capacity_bytes, result.weight_bytes,
+        )
+        _assert_tables_match(
+            metrics_table(result), metrics_table(replayed),
+            (seed, engine, policy),
+        )
+
+
+def test_grid_exercises_preemption_and_requeue():
+    """The oracle is only meaningful if the hard paths actually fire
+    somewhere in the grid: preemption, requeue and readmission."""
+    kinds = set()
+    preemptions = 0
+    for seed in SEEDS:
+        trace = generate_trace(_spec(seed))
+        for policy in sorted(POLICIES):
+            tracer, result = _traced(trace, _config(policy, seed), "event")
+            kinds |= {e.kind for e in tracer.events}
+            preemptions += result.preemptions
+    assert preemptions > 0
+    assert {"preempt", "requeue"} <= kinds
+
+
+def test_replay_rejects_truncated_trace():
+    trace = generate_trace(_spec(0))
+    tracer, result = _traced(trace, _config("fcfs", 0), "event")
+    headless = [e for e in tracer.events if e.kind != "arrive"]
+    with pytest.raises(ValueError, match="no preceding arrive"):
+        replay_result(headless, result.config)
+
+
+def test_replay_of_empty_trace_is_empty_result():
+    result = replay_result([], ServingConfig(num_ranks=2))
+    assert result.records == []
+    assert len(result.rank_stats) == 2
+    assert result.makespan_s == 0.0
+    assert metrics_table(result) == []
+
+
+def test_rejection_path_traces_replays_and_exports():
+    """A never-fit request fires the reject hook on both engines; the
+    replayed result and the Chrome-trace export both carry it."""
+    from repro.model import get_model_config
+    from repro.obs import chrome_trace, validate_chrome_trace
+    from repro.serving import Request
+
+    model = get_model_config("gpt-125m")
+    config = ServingConfig(model="gpt-125m", num_ranks=1, dpus_per_rank=3)
+    capacity = simulate_trace([], config).kv_capacity_bytes
+    too_long = 1
+    while model.kv_cache_bytes(1, 8 + too_long) <= capacity:
+        too_long *= 2
+    trace = [
+        Request(req_id=0, arrival_s=0.0, prompt_tokens=8, gen_tokens=too_long),
+        Request(req_id=1, arrival_s=0.0, prompt_tokens=8, gen_tokens=2),
+    ]
+    for engine in ("event", "loop"):
+        tracer, result = _traced(trace, config, engine)
+        assert "reject" in {e.kind for e in tracer.events}
+        assert tracer.registry.counters["rejections"].value == 1
+        replayed = replay_result(
+            tracer.events, result.config,
+            result.kv_capacity_bytes, result.weight_bytes,
+        )
+        assert replayed.records[0].status == "rejected"
+        _assert_tables_match(
+            metrics_table(result), metrics_table(replayed), engine
+        )
+        payload = chrome_trace(tracer.events, tracer.registry)
+        validate_chrome_trace(payload)
+        assert "reject" in {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "i"
+        }

@@ -1,0 +1,169 @@
+"""Chrome-trace and timeline exporters, plus the schema validator."""
+
+import json
+
+import pytest
+
+from repro.experiments.io import read_csv, read_json
+from repro.obs import (
+    RecordingTracer,
+    TraceEvent,
+    chrome_trace,
+    timeline_rows,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_timeline,
+)
+from repro.serving import ServingConfig, TraceSpec, generate_trace, simulate_trace
+
+
+def _traced_run(level="full", seed=0):
+    trace = generate_trace(TraceSpec(
+        num_requests=24, arrival_rate_per_s=2.0, prompt_mean=48.0,
+        gen_mean=12.0, seed=seed,
+    ))
+    tracer = RecordingTracer(level)
+    result = simulate_trace(
+        trace,
+        ServingConfig(model="gpt-125m", num_ranks=2, dpus_per_rank=8,
+                      max_batch=4),
+        tracer=tracer,
+    )
+    return tracer, result
+
+
+def test_chrome_trace_validates_and_counts():
+    tracer, result = _traced_run()
+    payload = chrome_trace(tracer.events, tracer.registry)
+    counts = validate_chrome_trace(payload)
+    assert counts["slices"] > 0
+    assert counts["counters"] > 0
+    assert counts["instants"] > 0  # first_token markers
+    # Process metadata for every rank plus thread names per request.
+    assert counts["metadata"] >= result.config.num_ranks * 2
+    assert payload["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_request_slices_cover_lifecycle():
+    tracer, result = _traced_run()
+    payload = chrome_trace(tracer.events)
+    by_name = {}
+    for e in payload["traceEvents"]:
+        by_name.setdefault(e["name"], []).append(e)
+    completed = sum(r.status == "completed" for r in result.records)
+    assert len(by_name["queued"]) >= completed
+    assert len(by_name["prefill"]) >= completed
+    assert len(by_name["decode"]) >= completed
+    assert len(by_name["first_token"]) == completed
+    # Engine-lane decode segments live on tid 0.
+    assert all(e["tid"] == 0 for e in by_name["decode_segment"])
+    # Request slices live on tid req_id + 1, per-rank pid.
+    ranks = {r.rank for r in result.records}
+    assert {e["pid"] for e in by_name["queued"]} <= ranks
+
+
+def test_chrome_trace_counter_tracks_are_per_rank():
+    tracer, result = _traced_run()
+    payload = chrome_trace(tracer.events, tracer.registry)
+    counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+    assert counters
+    names = {e["name"] for e in counters}
+    assert {"kv_bytes", "batch", "queue_depth"} <= names
+    assert {e["pid"] for e in counters} == set(range(result.config.num_ranks))
+
+
+def test_validate_chrome_trace_rejects_malformed_events():
+    ok = {"name": "s", "ph": "X", "pid": 0, "tid": 0, "ts": 0.0, "dur": 1.0}
+    cases = [
+        ("must be a dict", ["nope"]),
+        ("unknown phase", [dict(ok, ph="Z")]),
+        ("pid must be an integer", [dict(ok, pid="0")]),
+        ("name must be a non-empty string", [dict(ok, name="")]),
+        ("non-negative number", [dict(ok, ts=-1.0)]),
+        ("non-negative dur", [dict(ok, dur=-1.0)]),
+        ("numeric args", [{"name": "c", "ph": "C", "pid": 0, "tid": 0,
+                           "ts": 0.0, "args": {"v": "high"}}]),
+        ("malformed metadata", [{"name": "nickname", "ph": "M", "pid": 0,
+                                 "tid": 0, "ts": 0.0, "args": {"name": "x"}}]),
+        ("scope", [{"name": "i", "ph": "i", "pid": 0, "tid": 0, "ts": 0.0}]),
+    ]
+    for match, events in cases:
+        with pytest.raises(ValueError, match=match):
+            validate_chrome_trace({"traceEvents": events})
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_chrome_trace({})
+    with pytest.raises(ValueError, match="must be a list"):
+        validate_chrome_trace({"traceEvents": "xyz"})
+
+
+def test_chrome_trace_preemption_sawtooth():
+    """A preempted request renders as queued -> prefill/decode -> preempt
+    instant -> queued again, so the whole sawtooth is visible."""
+    events = [
+        TraceEvent("arrive", 0.0, 0, 7, {"prompt_tokens": 8, "gen_tokens": 4,
+                                         "priority": 0, "slo_ttft_s": 0.0}),
+        TraceEvent("admit", 1.0, 0, 7, {"kv_bytes": 64, "kv_used_bytes": 64,
+                                        "readmit": False, "prefix_tokens": 0}),
+        TraceEvent("preempt", 2.0, 0, 7, {"kv_bytes": 64, "tokens_out": 1}),
+        TraceEvent("requeue", 2.0, 0, 7),
+        TraceEvent("admit", 3.0, 0, 7, {"kv_bytes": 64, "kv_used_bytes": 64,
+                                        "readmit": True, "prefix_tokens": 8}),
+        TraceEvent("finish", 5.0, 0, 7, {"tokens_out": 4}),
+    ]
+    payload = chrome_trace(events)
+    validate_chrome_trace(payload)
+    slices = [(e["name"], e["ts"], e["dur"])
+              for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert ("queued", 0.0, 1e6) in slices
+    assert ("decode", 1e6, 1e6) in slices   # admit -> preempt
+    assert ("queued", 2e6, 1e6) in slices   # requeue -> readmit
+    assert ("decode", 3e6, 2e6) in slices   # readmit -> finish
+    instants = [e["name"] for e in payload["traceEvents"] if e["ph"] == "i"]
+    assert "preempt" in instants
+
+
+def test_timeline_rows_flatten_events():
+    tracer, _ = _traced_run()
+    rows = timeline_rows(tracer.events)
+    assert len(rows) == len(tracer.events)
+    first = rows[0]
+    assert first["event"] == "arrive"
+    assert {"t_s", "rank", "req_id", "prompt_tokens"} <= set(first)
+    segment = next(r for r in rows if r["event"] == "decode_segment")
+    assert segment["req_id"] is None
+
+
+def test_write_timeline_csv_round_trips_types(tmp_path):
+    tracer, _ = _traced_run()
+    path = str(tmp_path / "timeline.csv")
+    write_timeline(path, tracer)
+    rows = read_csv(path)
+    assert len(rows) == len(tracer.events)
+    for row in rows:
+        assert isinstance(row["event"], str)
+        assert isinstance(row["t_s"], (int, float))
+        # decode_segment rows have no req_id cell at all after round-trip.
+        if row["event"] == "decode_segment":
+            assert "req_id" not in row
+
+
+def test_write_timeline_json_bundles_series_and_metrics(tmp_path):
+    tracer, _ = _traced_run()
+    path = str(tmp_path / "timeline.json")
+    write_timeline(path, tracer)
+    payload = read_json(path)
+    assert payload["level"] == "full"
+    assert len(payload["events"]) == len(tracer.events)
+    assert payload["series"]  # sampled points present at level full
+    assert payload["metrics"]["counters"]["arrivals"] == 24
+
+
+def test_write_chrome_trace_file_is_loadable(tmp_path):
+    tracer, _ = _traced_run()
+    path = str(tmp_path / "trace.json")
+    returned = write_chrome_trace(path, tracer)
+    with open(path) as fh:
+        on_disk = json.load(fh)
+    assert on_disk == returned
+    counts = validate_chrome_trace(on_disk)
+    assert counts["slices"] > 0 and counts["counters"] > 0

@@ -1,0 +1,130 @@
+"""Metric primitives: counters, gauges, log-histograms, time series."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, LogHistogram, MetricsRegistry, TimeSeries
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+    assert c.value == 5
+
+
+def test_gauge_tracks_last_and_max():
+    g = Gauge("kv")
+    g.set(10.0)
+    g.set(3.0)
+    assert g.value == 3.0
+    assert g.max_value == 10.0
+
+
+def test_histogram_mean_is_exact():
+    h = LogHistogram("lat")
+    values = [0.01, 0.5, 2.0, 40.0, 1000.0]
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert h.mean == pytest.approx(sum(values) / len(values))
+
+
+def test_histogram_quantiles_bounded_relative_error():
+    """Every quantile estimate lands within one bucket (~12% relative
+    error at the default base) of the true sample percentile."""
+    h = LogHistogram("lat")
+    values = [1.001 ** i for i in range(2000)]  # smooth geometric spread
+    for v in values:
+        h.observe(v)
+    for q in (1, 25, 50, 75, 95, 99, 100):
+        true = sorted(values)[min(len(values) - 1, int(len(values) * q / 100))]
+        estimate = h.quantile(q)
+        assert abs(math.log(estimate / true)) < 2 * math.log(h.base), (q, estimate, true)
+
+
+def test_histogram_zero_and_negative_underflow_bucket():
+    h = LogHistogram("lat")
+    for v in (0.0, -1.0, 0.0, 5.0):
+        h.observe(v)
+    assert h.zero_count == 3
+    assert h.count == 4
+    assert h.quantile(50) == 0.0  # rank 2 of 4 is in the underflow bucket
+    assert h.quantile(100) > 1.0
+
+
+def test_histogram_exact_power_boundary_is_stable():
+    """Values on exact bucket boundaries must not jitter across buckets
+    from float log noise."""
+    h = LogHistogram("lat", base=2.0)
+    h.observe(8.0)  # exactly 2**3: belongs to bucket k=3 (interval (4, 8])
+    assert h._buckets == {3: 1}
+
+
+def test_histogram_rejects_bad_base_and_quantile():
+    with pytest.raises(ValueError, match="base"):
+        LogHistogram("lat", base=1.0)
+    h = LogHistogram("lat")
+    with pytest.raises(ValueError, match="quantile"):
+        h.quantile(101)
+    assert h.quantile(50) == 0.0  # empty histogram
+
+
+def test_histogram_to_dict_snapshot():
+    h = LogHistogram("lat")
+    for v in (0.1, 0.2, 0.4):
+        h.observe(v)
+    snap = h.to_dict()
+    assert snap["count"] == 3
+    assert snap["mean"] == pytest.approx(0.7 / 3)
+    assert 0.0 < snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
+def test_timeseries_decimates_but_keeps_coverage():
+    ts = TimeSeries("kv", max_samples=8)
+    n = 1000
+    for i in range(n):
+        ts.sample(float(i), float(i))
+    assert len(ts.times) <= 8
+    assert ts.times == sorted(ts.times)
+    # Uniform coverage: first retained point is the first sample and the
+    # last retained point is in the final stride window.
+    assert ts.times[0] == 0.0
+    assert ts.times[-1] >= n - 2 * ts._stride
+    rows = ts.to_rows()
+    assert rows[0] == {"series": "kv", "t_s": 0.0, "value": 0.0}
+
+
+def test_timeseries_rejects_tiny_cap():
+    with pytest.raises(ValueError, match="max_samples"):
+        TimeSeries("kv", max_samples=1)
+
+
+def test_registry_get_or_create_and_snapshot():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert reg.timeseries("t") is reg.timeseries("t")
+    reg.counter("a").inc(3)
+    reg.gauge("g").set(2.5)
+    reg.histogram("h").observe(1.0)
+    reg.timeseries("t").sample(0.0, 9.0)
+    snap = reg.snapshot()
+    assert snap["counters"]["a"] == 3
+    assert snap["gauges"]["g"] == {"value": 2.5, "max": 2.5}
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["series"]["t"]["samples"] == 1
+    assert reg.series_rows() == [{"series": "t", "t_s": 0.0, "value": 9.0}]
+
+
+def test_registry_namespaces_do_not_collide():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    reg.gauge("x").set(7.0)
+    assert reg.counter("x").value == 1
+    assert reg.gauge("x").value == 7.0

@@ -174,3 +174,68 @@ def test_cli_zero_requests(tmp_path):
     payload = read_json(out)
     assert payload["requests"] == []
     assert payload["metrics"] == []
+
+
+def test_cli_trace_out_writes_valid_chrome_trace(tmp_path, capsys):
+    from repro.obs import validate_chrome_trace
+
+    path = str(tmp_path / "trace.json")
+    code = main(["--model", "gpt-125m", "--requests", "8", "--ranks", "2",
+                 "--prompt-mean", "16", "--gen-mean", "8",
+                 "--trace-out", path])
+    assert code == 0
+    assert "perfetto" in capsys.readouterr().out
+    with open(path) as fh:
+        counts = validate_chrome_trace(json.load(fh))
+    assert counts["slices"] > 0
+    assert counts["counters"] > 0  # full level samples counter tracks
+    assert counts["metadata"] > 0
+
+
+def test_cli_timeline_out_csv_and_json(tmp_path):
+    csv_path = str(tmp_path / "timeline.csv")
+    json_path = str(tmp_path / "timeline.json")
+    code = main(["--model", "gpt-125m", "--requests", "6", "--ranks", "1",
+                 "--prompt-mean", "16", "--gen-mean", "4", "--quiet",
+                 "--trace-out", str(tmp_path / "t.json"),
+                 "--timeline-out", csv_path])
+    assert code == 0
+    rows = read_csv(csv_path)
+    assert rows and all(isinstance(r["event"], str) for r in rows)
+    assert {"arrive", "admit", "finish"} <= {r["event"] for r in rows}
+    code = main(["--model", "gpt-125m", "--requests", "6", "--ranks", "1",
+                 "--prompt-mean", "16", "--gen-mean", "4", "--quiet",
+                 "--timeline-out", json_path])
+    assert code == 0
+    payload = read_json(json_path)
+    assert payload["level"] == "full"
+    assert payload["metrics"]["counters"]["arrivals"] == 6
+
+
+def test_cli_trace_level_lifecycle_drops_counter_tracks(tmp_path):
+    from repro.obs import validate_chrome_trace
+
+    path = str(tmp_path / "trace.json")
+    code = main(["--model", "gpt-125m", "--requests", "6", "--ranks", "1",
+                 "--prompt-mean", "16", "--gen-mean", "4", "--quiet",
+                 "--trace-out", path, "--trace-level", "lifecycle"])
+    assert code == 0
+    with open(path) as fh:
+        counts = validate_chrome_trace(json.load(fh))
+    assert counts["slices"] > 0
+    assert counts["counters"] == 0  # no sampled series at lifecycle level
+
+
+def test_cli_rejects_unknown_trace_level(capsys):
+    assert main(["--model", "gpt-125m", "--trace-level", "debug",
+                 "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "--trace-level" in err and "lifecycle" in err and "full" in err
+    assert "Traceback" not in err
+
+
+def test_cli_no_trace_flags_writes_nothing(tmp_path):
+    code = main(["--model", "gpt-125m", "--requests", "4", "--ranks", "1",
+                 "--prompt-mean", "16", "--gen-mean", "4", "--quiet"])
+    assert code == 0
+    assert list(tmp_path.iterdir()) == []

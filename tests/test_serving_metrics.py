@@ -1,0 +1,121 @@
+"""Per-request rows and aggregate tables: None timestamps, zero edges."""
+
+import math
+
+import pytest
+
+from repro.experiments.io import read_csv, write_csv
+from repro.experiments.tables import safe_ratio, serving_table
+from repro.serving import ServingConfig, TraceSpec, generate_trace, simulate_trace
+from repro.serving.metrics import metrics_table, record_rows, summary
+from repro.serving.scheduler import RequestRecord, ServingResult
+
+
+def _result(**record_kwargs):
+    """A one-request ServingResult with controllable record fields."""
+    defaults = dict(req_id=0, rank=0, arrival_s=1.0, prompt_tokens=8,
+                    gen_tokens=4, priority=0, slo_ttft_s=0.0)
+    defaults.update(record_kwargs)
+    return ServingResult(
+        config=ServingConfig(model="gpt-125m", num_ranks=1),
+        records=[RequestRecord(**defaults)],
+        rank_stats=[],
+        kv_capacity_bytes=0,
+        weight_bytes=0,
+    )
+
+
+def test_record_rows_keep_missing_timestamps_none():
+    """A rejected request has no admission/first-token/finish time — the
+    row must say so with None, not a fake 0.0 reading as trace start."""
+    rows = record_rows(_result(status="rejected"))
+    row = rows[0]
+    assert row["status"] == "rejected"
+    assert row["admit_s"] is None
+    assert row["first_token_s"] is None
+    assert row["finish_s"] is None
+    assert row["arrival_s"] == 1.0
+
+
+def test_record_rows_none_round_trips_csv(tmp_path):
+    """None cells serialise to empty CSV cells and are dropped on read,
+    so the round-trip never manufactures numbers."""
+    rows = record_rows(_result(status="rejected"))
+    path = str(tmp_path / "records.csv")
+    write_csv(path, rows)
+    back = read_csv(path)
+    assert "admit_s" not in back[0]
+    assert "finish_s" not in back[0]
+    assert back[0]["arrival_s"] == 1.0
+    assert back[0]["status"] == "rejected"
+
+
+def test_record_rows_completed_request_keeps_floats():
+    rows = record_rows(_result(
+        status="completed", admit_s=2.0, first_token_s=3.0, finish_s=5.0
+    ))
+    row = rows[0]
+    assert row["admit_s"] == 2.0
+    assert row["first_token_s"] == 3.0
+    assert row["finish_s"] == 5.0
+    assert row["latency_s"] == 4.0
+
+
+def test_safe_ratio_edges():
+    assert safe_ratio(6.0, 3.0) == 2.0
+    assert safe_ratio(1.0, 0.0) == 0.0
+    assert safe_ratio(1.0, -2.0) == 0.0
+    assert safe_ratio(0.0, 0.0, default=1.0) == 1.0
+    assert math.isinf(safe_ratio(1.0, 0.0, default=math.inf))
+
+
+def test_metrics_table_rejected_only_run_is_well_formed():
+    """Zero output tokens, zero busy time, no completions: every rate
+    and share must come out 0.0 / defaulted, never raise."""
+    table = metrics_table(_result(status="rejected"))
+    row = table[0]
+    assert row["scope"] == "all"
+    assert row["completed"] == 0
+    assert row["rejected"] == 1
+    assert row["output_tokens"] == 0
+    assert row["output_tokens_per_s"] == 0.0
+    assert row["energy_mj_per_token"] == 0.0
+    assert row["utilization"] == 0.0
+    assert row["ttft_mean_s"] == 0.0
+    assert row["slo_attainment"] == 1.0  # no SLO-carrying request
+
+
+def test_metrics_table_zero_makespan():
+    """An instantly-rejected trace has makespan 0; utilization must not
+    divide by it."""
+    result = _result(status="rejected")
+    assert result.makespan_s == 0.0
+    assert metrics_table(result)[0]["utilization"] == 0.0
+
+
+def test_serving_table_empty_rows():
+    assert serving_table([]) == []
+
+
+def test_metrics_table_empty_result():
+    empty = ServingResult(
+        config=ServingConfig(model="gpt-125m"), records=[], rank_stats=[],
+        kv_capacity_bytes=0, weight_bytes=0,
+    )
+    assert metrics_table(empty) == []
+    assert summary(empty)["scope"] == "all"
+
+
+def test_metrics_table_healthy_run_unchanged():
+    """The guard refactor must not move any value on a normal run."""
+    trace = generate_trace(TraceSpec(num_requests=12, seed=2))
+    result = simulate_trace(trace, ServingConfig(model="gpt-125m", num_ranks=2))
+    table = metrics_table(result)
+    row = table[0]
+    assert row["completed"] == 12
+    assert row["output_tokens_per_s"] > 0
+    assert row["energy_mj_per_token"] > 0
+    assert 0.0 < row["utilization"] <= 1.0
+    assert row["energy_mj_per_token"] == pytest.approx(
+        1e3 * result.total_energy_j / result.output_tokens
+    )

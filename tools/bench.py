@@ -19,10 +19,11 @@ Usage::
 ``--check`` exits non-zero if the trace simulation misses its
 wall-clock budget (10 s for 1000 requests), if the event engine's
 speedup over the loop engine falls below 10x at 1000 requests, if the
-100k-request scaling run misses its budget, or if the chunked-prefill
-policy stops beating FCFS p95 TTFT on the bursty long-prefill scenario
-(or drops completed requests), so CI catches performance and
-scheduling-quality regressions on the serving path.
+100k-request scaling run misses its budget, if a disabled tracer slows
+the 100k scaling run beyond its overhead floor, or if the
+chunked-prefill policy stops beating FCFS p95 TTFT on the bursty
+long-prefill scenario (or drops completed requests), so CI catches
+performance and scheduling-quality regressions on the serving path.
 """
 
 from __future__ import annotations
@@ -43,6 +44,10 @@ ENGINE_REQUESTS = 1000
 ENGINE_SPEEDUP_FLOOR = 10.0
 SCALING_REQUESTS = 100_000
 SCALING_BUDGET_S = 180.0
+OBS_TRACED_REQUESTS = 20_000
+# The tracing-disabled hot path is intended to cost a few percent at
+# most; the gate leaves headroom for shared-runner wall-clock noise.
+OBS_OVERHEAD_RATIO_FLOOR = 1.15
 
 
 def _timed(fn):
@@ -193,6 +198,59 @@ def bench_scaling() -> dict:
     }
 
 
+def bench_observability(scaling_wall_s: float) -> dict:
+    """Tracing overhead and the engines' self-profiled phase breakdown.
+
+    Three measurements: (a) the 100k-request scaling trace with a
+    *disabled* tracer passed in — at runtime this is the same code path
+    as passing no tracer at all (the engine stores ``None`` either
+    way), so its wall over the untraced scaling run is the hot-path
+    overhead gate; (b) a 20k-request slice with a full
+    :class:`RecordingTracer`, reporting the absolute cost of recording
+    every lifecycle event plus sampled series; (c) a profiled
+    1000-request run whose :class:`SelfProfiler` report attributes the
+    engine's own wall clock to admission / prefill / decode /
+    segment-costing phases.
+    """
+    from repro.obs import RecordingTracer, SelfProfiler, Tracer
+    from repro.serving import ServingConfig, TraceSpec, generate_trace, simulate_trace
+
+    spec = TraceSpec(
+        num_requests=SCALING_REQUESTS, seed=0, scenario="bursty",
+        arrival_rate_per_s=32.0, burst_rate_multiplier=8.0,
+    )
+    trace = generate_trace(spec)
+    config = ServingConfig(model="gpt-1.3b", num_ranks=8)
+    _, disabled_wall = _timed(
+        lambda: simulate_trace(trace, config, tracer=Tracer())
+    )
+
+    sub = trace[:OBS_TRACED_REQUESTS]
+    _, sub_wall = _timed(lambda: simulate_trace(sub, config))
+    tracer = RecordingTracer("full")
+    _, traced_wall = _timed(lambda: simulate_trace(sub, config, tracer=tracer))
+
+    profiler = SelfProfiler()
+    prof_trace = generate_trace(TraceSpec(num_requests=TRACE_REQUESTS, seed=0))
+    simulate_trace(prof_trace, ServingConfig(model="gpt-1.3b"),
+                   profiler=profiler)
+    return {
+        "requests": SCALING_REQUESTS,
+        "disabled_wall_s": disabled_wall,
+        "untraced_wall_s": scaling_wall_s,
+        "disabled_overhead_ratio": (
+            disabled_wall / scaling_wall_s if scaling_wall_s else 0.0
+        ),
+        "overhead_ratio_floor": OBS_OVERHEAD_RATIO_FLOOR,
+        "traced_requests": OBS_TRACED_REQUESTS,
+        "traced_wall_s": traced_wall,
+        "traced_untraced_wall_s": sub_wall,
+        "traced_overhead_ratio": traced_wall / sub_wall if sub_wall else 0.0,
+        "traced_events": len(tracer.events),
+        "profile": profiler.report(),
+    }
+
+
 def bench_policies() -> dict:
     """All scheduling policies on one bursty long-prefill trace.
 
@@ -248,13 +306,15 @@ def main(argv=None) -> int:
                         help="fail if the trace simulation misses its budget")
     args = parser.parse_args(argv)
 
+    scaling_entry = bench_scaling()
     payload = {
         "meta": environment_meta(),
         "sweep": bench_sweep(),
         "decode": bench_decode_methods(),
         "serving": bench_serving(),
         "engines": bench_engines(),
-        "scaling": bench_scaling(),
+        "scaling": scaling_entry,
+        "observability": bench_observability(scaling_entry["wall_s"]),
         "policies": bench_policies(),
     }
     with open(args.output, "w", encoding="utf-8") as fh:
@@ -265,6 +325,7 @@ def main(argv=None) -> int:
     decode = payload["decode"]
     engines = payload["engines"]
     scaling = payload["scaling"]
+    obs = payload["observability"]
     policies = payload["policies"]
     print(f"sweep: {payload['sweep']['wall_s']:.3f} s "
           f"({payload['sweep']['grid_points']} point(s))")
@@ -279,6 +340,10 @@ def main(argv=None) -> int:
     print(f"scaling: {scaling['requests']} bursty requests in "
           f"{scaling['wall_s']:.1f} s wall "
           f"({scaling['requests_per_wall_s']:.0f} requests/s)")
+    print(f"observability: disabled tracer {obs['disabled_overhead_ratio']:.3f}x "
+          f"untraced at {obs['requests']} requests; full recording "
+          f"{obs['traced_overhead_ratio']:.2f}x at {obs['traced_requests']} "
+          f"({obs['traced_events']} events)")
     print(f"policies ({policies['scenario']} long-prefill): chunked_prefill "
           f"p95 TTFT {policies['chunked_vs_fcfs_ttft_p95_speedup']:.3f}x vs fcfs")
     print(f"wrote {args.output}")
@@ -311,6 +376,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: {scaling['requests']}-request scaling trace took "
                 f"{scaling['wall_s']:.1f} s (> {SCALING_BUDGET_S} s budget)",
+                file=sys.stderr,
+            )
+            return 1
+        if obs["disabled_overhead_ratio"] > OBS_OVERHEAD_RATIO_FLOOR:
+            print(
+                f"FAIL: a disabled tracer costs "
+                f"{obs['disabled_overhead_ratio']:.3f}x the untraced "
+                f"{obs['requests']}-request run "
+                f"(floor {OBS_OVERHEAD_RATIO_FLOOR}x)",
                 file=sys.stderr,
             )
             return 1
