@@ -10,7 +10,7 @@ round-trip is *type-faithful*:
   ``string_columns`` — by default :data:`DEFAULT_STRING_COLUMNS`, the
   identifier/message columns this repo emits (``model``, ``scheme``,
   ``kernel``, ``status``, ``error``, ``phase``, ``scope``, ``policy``,
-  ``scenario``, ``event``, ``series``).  This keeps
+  ``scenario``, ``event``, ``series``, ``key``).  This keeps
   an error message like ``"nan"``, ``"inf"`` or ``"1234"`` a string
   instead of silently becoming a number.
 * ``True`` / ``False`` cells in numeric columns round-trip as booleans,
@@ -49,7 +49,7 @@ __all__ = [
 #: drivers.  Everything else is treated as a numeric/boolean column.
 DEFAULT_STRING_COLUMNS: FrozenSet[str] = frozenset(
     {"model", "scheme", "kernel", "status", "error", "phase", "scope",
-     "policy", "scenario", "engine", "event", "series"}
+     "policy", "scenario", "engine", "event", "series", "key"}
 )
 
 _INT_RE = re.compile(r"[+-]?\d+")

@@ -7,9 +7,10 @@ Two render targets for a recorded serving trace
   form, ``{"traceEvents": [...]}``), which loads directly in Perfetto
   (https://ui.perfetto.dev) or ``chrome://tracing``.  Each serving rank
   becomes a *process*; thread 0 is the rank's engine lane carrying
-  decode-segment slices, and every request gets its own thread with
-  ``queued`` / ``prefill`` / ``decode`` slices plus instant markers for
-  preemptions and rejections.  The sampled KV / batch / queue-depth
+  decode-segment slices (and cache-eviction instants), and every request
+  gets its own thread with ``queued`` / ``prefill`` / ``decode`` slices
+  plus instant markers for preemptions, rejections and prefix-cache
+  hits.  The sampled KV / batch / queue-depth
   series render as per-rank counter tracks.  Timestamps are simulated
   microseconds.
 * :func:`timeline_rows` — one flat dict per event, ready for
@@ -126,6 +127,17 @@ def chrome_trace(events: Sequence[TraceEvent],
             running_since[req_id] = t
         elif kind == "first_token":
             trace.append(_instant("first_token", rank, tid, t))
+        elif kind == "cache_hit":
+            trace.append(_instant("cache_hit", rank, tid, t, {
+                "cached_tokens": data["cached_tokens"],
+                "kv_saved_bytes": data["kv_saved_bytes"],
+            }))
+        elif kind == "cache_evict":
+            trace.append(_instant("cache_evict", rank, 0, t, {
+                "key": data["key"],
+                "depth_tokens": data["depth_tokens"],
+                "kv_bytes": data["kv_bytes"],
+            }))
         elif kind == "preempt":
             start = running_since.pop(req_id, t)
             trace.append(_slice(

@@ -79,16 +79,33 @@ def replay_result(
                 gen_tokens=data["gen_tokens"],
                 priority=data["priority"],
                 slo_ttft_s=data["slo_ttft_s"],
+                session_id=data.get("session_id", -1),
+                turn=data.get("turn", 0),
             )
         elif kind == "admit":
             rec = record(event)
+            cached = data.get("cached_tokens", -1)
             if rec.admit_s is None:
                 rec.admit_s = t
+                if cached >= 0:
+                    rec.cache_hit = cached > 0
+                    rec.cached_tokens = cached
             else:
                 rs.requeues += 1
                 rs.recompute_tokens += data["prefix_tokens"]
+            if cached > 0:
+                rs.cache_hits += 1
+                rs.cache_hit_tokens += cached
+            elif cached == 0:
+                rs.cache_misses += 1
+            rs.kv_reserved_bytes += data["kv_bytes"]
+            rs.kv_logical_bytes += data.get("kv_full_bytes", data["kv_bytes"])
             if data["kv_used_bytes"] > rs.kv_peak_bytes:
                 rs.kv_peak_bytes = data["kv_used_bytes"]
+        elif kind == "cache_hit":
+            record(event)  # validates the request arrived
+        elif kind == "cache_evict":
+            rs.cache_evictions += 1
         elif kind == "preempt":
             record(event).preemptions += 1
             rs.preemptions += 1

@@ -15,6 +15,11 @@ a :class:`Tracer`:
                     one prefill chunk's span (whole prompts are the
                     single-chunk case)
 ``first_token``     the request's first generated token
+``cache_hit``       admission resumed from a cached KV prefix (the
+                    ``kv_saved_bytes`` never left MRAM)
+``cache_evict``     a refcount-zero cached prefix was dropped under KV
+                    pressure (rank-level, no request; always *before*
+                    any preemption at the same decision point)
 ``decode_segment``  one engine decode advance (rank-level, no request):
                     the per-token loop emits ``tokens=1`` per iteration,
                     the event engine one multi-token segment per
@@ -67,14 +72,19 @@ EVENT_KINDS = (
     "prefill_chunk_start",
     "prefill_chunk_end",
     "first_token",
+    "cache_hit",
+    "cache_evict",
     "decode_segment",
     "finish",
 )
 
 #: Request-scoped kinds, identical across engines (``decode_segment`` is
 #: engine-granularity: per token for the loop, per segment for the event
-#: engine).
-LIFECYCLE_KINDS = tuple(k for k in EVENT_KINDS if k != "decode_segment")
+#: engine; ``cache_evict`` is rank-scoped — it names a cache entry, not
+#: a request — though likewise engine-independent).
+LIFECYCLE_KINDS = tuple(
+    k for k in EVENT_KINDS if k not in ("decode_segment", "cache_evict")
+)
 
 #: Recording levels: ``lifecycle`` keeps request-scoped events only;
 #: ``full`` adds decode segments and sampled per-rank time series (what
@@ -119,12 +129,25 @@ class Tracer:
         """A request reached its rank's queue."""
 
     def admit(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
-              kv_used_bytes: int, readmit: bool, prefix_tokens: int) -> None:
-        """A request reserved KV and entered the prefill stage."""
+              kv_used_bytes: int, readmit: bool, prefix_tokens: int,
+              cached_tokens: int = -1, kv_full_bytes: int = 0) -> None:
+        """A request reserved KV and entered the prefill stage.
+
+        ``kv_bytes`` is the reservation actually made this admission
+        (the uncached tail when resuming from a prefix cache);
+        ``kv_full_bytes`` the request's full logical footprint.
+        ``cached_tokens`` is the prefix-cache outcome: -1 cache
+        disabled, 0 miss, > 0 the resumed depth.
+        """
 
     def preempt(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
-                tokens_out: int) -> None:
-        """A running request was evicted under KV pressure."""
+                tokens_out: int, cache_evictable_bytes: int = 0) -> None:
+        """A running request was evicted under KV pressure.
+
+        ``cache_evictable_bytes`` is what the rank's prefix cache could
+        still reclaim at this instant — 0 by the eviction-before-
+        preemption contract (cached pages always go first).
+        """
 
     def requeue(self, t_s: float, rank: int, req_id: int) -> None:
         """An evicted request re-entered the ready queue."""
@@ -143,6 +166,15 @@ class Tracer:
 
     def first_token(self, t_s: float, rank: int, req_id: int) -> None:
         """A request produced its first generated token."""
+
+    def cache_hit(self, t_s: float, rank: int, req_id: int,
+                  cached_tokens: int, kv_saved_bytes: int) -> None:
+        """An admission resumed from a cached KV prefix."""
+
+    def cache_evict(self, t_s: float, rank: int, key: str,
+                    depth_tokens: int, kv_bytes: int) -> None:
+        """A cached prefix (``key`` like ``"sys:2"``/``"sess:5:3"``) was
+        dropped to make room, releasing ``kv_bytes`` of MRAM."""
 
     def decode_segment(self, t_s: float, rank: int, batch: int, tokens: int,
                        latency_s: float, energy_j: float) -> None:
@@ -200,7 +232,7 @@ class RecordingTracer(Tracer):
 
     def lifecycle_events(self) -> List[TraceEvent]:
         """Recorded request-scoped events (:data:`LIFECYCLE_KINDS`)."""
-        return [e for e in self.events if e.kind != "decode_segment"]
+        return [e for e in self.events if e.kind in LIFECYCLE_KINDS]
 
     def lifecycle_by_request(self) -> Dict[int, List[TraceEvent]]:
         """Per-request lifecycle sequences, keyed by request id."""
@@ -220,13 +252,16 @@ class RecordingTracer(Tracer):
                 "gen_tokens": request.gen_tokens,
                 "priority": request.priority,
                 "slo_ttft_s": request.slo_ttft_s,
+                "session_id": request.session_id,
+                "turn": request.turn,
             },
         ))
         self.registry.counter("arrivals").inc()
         self._inflight[request.req_id] = [t_s, float(request.gen_tokens), -1.0, -1.0]
 
     def admit(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
-              kv_used_bytes: int, readmit: bool, prefix_tokens: int) -> None:
+              kv_used_bytes: int, readmit: bool, prefix_tokens: int,
+              cached_tokens: int = -1, kv_full_bytes: int = 0) -> None:
         """Record the admission and update the KV-occupancy gauge."""
         self.events.append(TraceEvent(
             "admit", t_s, rank, req_id,
@@ -235,23 +270,34 @@ class RecordingTracer(Tracer):
                 "kv_used_bytes": kv_used_bytes,
                 "readmit": readmit,
                 "prefix_tokens": prefix_tokens,
+                "cached_tokens": cached_tokens,
+                "kv_full_bytes": kv_full_bytes,
             },
         ))
         self.registry.counter("admissions").inc()
         if readmit:
             self.registry.counter("requeues").inc()
             self.registry.counter("recompute_tokens").inc(prefix_tokens)
+        if cached_tokens > 0:
+            self.registry.counter("cache_hits").inc()
+            self.registry.counter("cache_hit_tokens").inc(cached_tokens)
+        elif cached_tokens == 0:
+            self.registry.counter("cache_misses").inc()
         self.registry.gauge(f"rank{rank}/kv_used_bytes").set(float(kv_used_bytes))
         entry = self._inflight.get(req_id)
         if entry is not None and entry[2] < 0.0:
             entry[2] = t_s
 
     def preempt(self, t_s: float, rank: int, req_id: int, kv_bytes: int,
-                tokens_out: int) -> None:
+                tokens_out: int, cache_evictable_bytes: int = 0) -> None:
         """Record the eviction."""
         self.events.append(TraceEvent(
             "preempt", t_s, rank, req_id,
-            {"kv_bytes": kv_bytes, "tokens_out": tokens_out},
+            {
+                "kv_bytes": kv_bytes,
+                "tokens_out": tokens_out,
+                "cache_evictable_bytes": cache_evictable_bytes,
+            },
         ))
         self.registry.counter("preemptions").inc()
 
@@ -297,6 +343,24 @@ class RecordingTracer(Tracer):
         if entry is not None:
             entry[3] = t_s
             self.registry.histogram("ttft_s").observe(t_s - entry[0])
+
+    def cache_hit(self, t_s: float, rank: int, req_id: int,
+                  cached_tokens: int, kv_saved_bytes: int) -> None:
+        """Record a prefix-cache resume (paired with its admit event)."""
+        self.events.append(TraceEvent(
+            "cache_hit", t_s, rank, req_id,
+            {"cached_tokens": cached_tokens, "kv_saved_bytes": kv_saved_bytes},
+        ))
+        self.registry.counter("kv_saved_bytes").inc(kv_saved_bytes)
+
+    def cache_evict(self, t_s: float, rank: int, key: str,
+                    depth_tokens: int, kv_bytes: int) -> None:
+        """Record a cache eviction (rank-scoped; no request)."""
+        self.events.append(TraceEvent(
+            "cache_evict", t_s, rank, None,
+            {"key": key, "depth_tokens": depth_tokens, "kv_bytes": kv_bytes},
+        ))
+        self.registry.counter("cache_evictions").inc()
 
     def decode_segment(self, t_s: float, rank: int, batch: int, tokens: int,
                        latency_s: float, energy_j: float) -> None:

@@ -7,13 +7,15 @@ replicas with continuous batching and KV-cache admission, producing
 TTFT / TPOT / latency-percentile / throughput / energy metrics.
 
 * :mod:`repro.serving.trace` — :class:`Request`, seeded synthetic
-  traces (steady Poisson, bursty MMPP and diurnal arrival scenarios;
-  log-normal lengths; priority tiers with TTFT SLOs),
+  traces (steady Poisson, bursty MMPP, diurnal and conversational
+  session arrival scenarios; log-normal lengths; priority tiers with
+  TTFT SLOs),
 * :mod:`repro.serving.policy` — pluggable scheduling policies
   (``fcfs`` / ``sjf`` / ``priority`` / ``chunked_prefill``) with
-  KV-pressure preemption,
+  KV-pressure preemption and cache-eviction selection,
 * :mod:`repro.serving.scheduler` — the continuous-batching simulator
-  (:func:`simulate_trace`),
+  (:func:`simulate_trace`) with the optional per-rank refcounted
+  :class:`PrefixCache`,
 * :mod:`repro.serving.metrics` — per-request rows and percentile
   summary tables (incl. SLO attainment and preemption counters),
 * :mod:`repro.serving.cli` — the ``python -m repro.serving`` command
@@ -39,6 +41,8 @@ from repro.serving.policy import (
 )
 from repro.serving.scheduler import (
     ENGINES,
+    CacheEntry,
+    PrefixCache,
     RankStats,
     RequestRecord,
     ServingConfig,
@@ -63,6 +67,8 @@ __all__ = [
     "ChunkedPrefillPolicy",
     "get_policy",
     "ENGINES",
+    "CacheEntry",
+    "PrefixCache",
     "ServingConfig",
     "RequestRecord",
     "RankStats",

@@ -1,9 +1,10 @@
 """Command-line serving simulator: ``python -m repro.serving``.
 
-Generates a seeded synthetic trace (steady Poisson, bursty MMPP or
-diurnal arrivals; log-normal lengths; optional priority tiers with
-TTFT SLOs), serves it on a sharded UPMEM deployment with continuous
-batching under the selected scheduling policy, prints the
+Generates a seeded synthetic trace (steady Poisson, bursty MMPP,
+diurnal or conversational session arrivals; log-normal lengths;
+optional priority tiers with TTFT SLOs), serves it on a sharded UPMEM
+deployment with continuous batching under the selected scheduling
+policy — optionally with the per-rank KV prefix cache — prints the
 TTFT/TPOT/latency/throughput table, and writes the full results to
 JSON or CSV.
 
@@ -24,6 +25,15 @@ policy::
 
     python -m repro.serving --compare --scenario bursty --requests 128 \\
         --workers 4
+
+Conversational sessions with the KV prefix cache (shared system
+prompts and per-turn context carry-over admit at the cost of only the
+uncached suffix; keep ``--prompt-max``/``--gen-max`` small so the
+deepest carried context stays inside the per-bank working set)::
+
+    python -m repro.serving --scenario conversational --prefix-cache \\
+        --sessions 64 --turns 4 --requests 256 \\
+        --prompt-mean 48 --prompt-max 96 --gen-mean 24 --gen-max 48
 
 Scale check: a 100k-request bursty trace on the event-driven engine::
 
@@ -94,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--chunk-tokens", type=int, default=32, metavar="T",
                        help="prefill token budget per iteration "
                             "(chunked_prefill policy)")
+    sched.add_argument("--prefix-cache", action="store_true",
+                       help="enable the per-rank KV prefix cache (shared "
+                            "system prompts and conversational carry-over "
+                            "admit at the cost of only the uncached suffix)")
     sched.add_argument("--compare", action="store_true",
                        help="run every scheduling policy on the same trace "
                             "and print the policy-comparison table")
@@ -124,6 +138,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--slo-ttft", default=None, metavar="S0,S1,...",
                        help="comma-separated per-tier TTFT SLOs in seconds "
                             "(must match --tiers in length)")
+    trace.add_argument("--sessions", type=int, default=8, metavar="N",
+                       help="conversation sessions (conversational scenario)")
+    trace.add_argument("--turns", type=float, default=4.0, metavar="T",
+                       help="mean turns per session (conversational)")
+    trace.add_argument("--think-time", type=float, default=10.0, metavar="S",
+                       help="mean think-time gap between turns in seconds "
+                            "(conversational)")
+    trace.add_argument("--prompt-pool", type=int, default=4, metavar="N",
+                       help="shared system-prompt pool size (conversational; "
+                            "0 disables shared prefixes)")
+    trace.add_argument("--system-prompt-tokens", type=int, default=128,
+                       metavar="T",
+                       help="tokens in each shared system prompt "
+                            "(conversational)")
     trace.add_argument("--seed", type=int, default=0, metavar="N",
                        help="trace RNG seed")
     obs = parser.add_argument_group("observability")
@@ -182,6 +210,13 @@ def _validate_args(args: argparse.Namespace) -> None:
         (args.seed >= 0, "--seed must be >= 0", args.seed),
         (args.tiers >= 1, "--tiers must be >= 1", args.tiers),
         (args.workers >= 1, "--workers must be >= 1", args.workers),
+        (args.sessions >= 1, "--sessions must be >= 1", args.sessions),
+        (args.turns >= 1, "--turns must be >= 1", args.turns),
+        (args.think_time >= 0, "--think-time must be >= 0", args.think_time),
+        (args.prompt_pool >= 0, "--prompt-pool must be >= 0",
+         args.prompt_pool),
+        (args.system_prompt_tokens >= 0,
+         "--system-prompt-tokens must be >= 0", args.system_prompt_tokens),
     )
     for ok, message, value in checks:
         if not ok:
@@ -242,6 +277,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             gen_max=args.gen_max,
             priority_weights=(1.0,) * args.tiers,
             slo_ttft_s=_parse_slos(args.slo_ttft, args.tiers),
+            sessions=args.sessions,
+            turns_mean=args.turns,
+            think_time_mean_s=args.think_time,
+            system_prompt_pool=args.prompt_pool,
+            system_prompt_tokens=args.system_prompt_tokens,
             seed=args.seed,
         )
         config = ServingConfig(
@@ -254,6 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             policy=args.policy,
             prefill_chunk_tokens=args.chunk_tokens,
             engine=args.engine,
+            prefix_cache=args.prefix_cache,
         )
         requests = generate_trace(spec)
         result = simulate_trace(requests, config, tracer=tracer)
@@ -318,6 +359,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "gen_max": spec.gen_max,
                         "priority_weights": list(spec.priority_weights),
                         "slo_ttft_s": list(spec.slo_ttft_s),
+                        "sessions": spec.sessions,
+                        "turns_mean": spec.turns_mean,
+                        "think_time_mean_s": spec.think_time_mean_s,
+                        "system_prompt_pool": spec.system_prompt_pool,
+                        "system_prompt_tokens": spec.system_prompt_tokens,
                         "seed": spec.seed,
                     },
                     "summary": summary(result),

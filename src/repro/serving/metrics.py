@@ -24,6 +24,10 @@ tokens/s      generated tokens over the scope's busy window
 SLO attain.   share of SLO-carrying requests whose TTFT met the SLO
 preemptions   KV-pressure evictions (victims re-queue and recompute
               their prefix)
+cache hit     share of prefix-cache admissions that resumed from a
+              cached KV prefix (0 with the cache disabled)
+KV dedup      logical KV bytes over bytes actually reserved — how much
+              MRAM the shared prefixes saved (1.0 = no sharing)
 ============  ========================================================
 """
 
@@ -58,6 +62,10 @@ def record_rows(result: ServingResult) -> List[dict]:
                 "priority": rec.priority,
                 "slo_ttft_s": rec.slo_ttft_s,
                 "preemptions": rec.preemptions,
+                "session_id": rec.session_id,
+                "turn": rec.turn,
+                "cache_hit": rec.cache_hit,
+                "cached_tokens": rec.cached_tokens,
                 "admit_s": rec.admit_s,
                 "first_token_s": rec.first_token_s,
                 "finish_s": rec.finish_s,
@@ -100,6 +108,19 @@ def metrics_table(result: ServingResult) -> List[dict]:
         row["kv_peak_bytes"] = max(
             (rs.kv_peak_bytes for rs in result.rank_stats), default=0
         )
+        hits, misses = result.cache_hits, result.cache_misses
+        row["cache_hits"] = hits
+        row["cache_misses"] = misses
+        row["cache_evictions"] = result.cache_evictions
+        row["cache_hit_rate"] = safe_ratio(hits, hits + misses)
+        row["cache_hit_tokens"] = sum(
+            rs.cache_hit_tokens for rs in result.rank_stats
+        )
+        row["kv_dedup_factor"] = safe_ratio(
+            sum(rs.kv_logical_bytes for rs in result.rank_stats),
+            sum(rs.kv_reserved_bytes for rs in result.rank_stats),
+            default=1.0,
+        )
     for rs in result.rank_stats:
         row = by_scope.get(f"rank{rs.rank}")
         if row is None:
@@ -112,6 +133,16 @@ def metrics_table(result: ServingResult) -> List[dict]:
         row["requeues"] = rs.requeues
         row["recompute_tokens"] = rs.recompute_tokens
         row["kv_peak_bytes"] = rs.kv_peak_bytes
+        row["cache_hits"] = rs.cache_hits
+        row["cache_misses"] = rs.cache_misses
+        row["cache_evictions"] = rs.cache_evictions
+        row["cache_hit_rate"] = safe_ratio(
+            rs.cache_hits, rs.cache_hits + rs.cache_misses
+        )
+        row["cache_hit_tokens"] = rs.cache_hit_tokens
+        row["kv_dedup_factor"] = safe_ratio(
+            rs.kv_logical_bytes, rs.kv_reserved_bytes, default=1.0
+        )
     return table
 
 
@@ -126,6 +157,7 @@ def summary(result: ServingResult) -> dict:
             "kernel": result.config.kernel,
             "policy": result.config.policy,
             "engine": result.config.engine,
+            "prefix_cache": result.config.prefix_cache,
             "num_ranks": result.config.num_ranks,
             "dpus_per_rank": result.config.dpus_per_rank,
             "max_batch": result.config.max_batch,

@@ -21,6 +21,14 @@ A :class:`SchedulingPolicy` decides three things for a rank engine
   run-to-completion prefills; :class:`ChunkedPrefillPolicy` returns a
   fixed token budget so long prompts are interleaved with decode steps
   and decode is never starved.
+* **Cache eviction** — when the rank runs a KV prefix cache
+  (``ServingConfig.prefix_cache``) and the head candidate does not fit,
+  :meth:`~SchedulingPolicy.select_cache_evictions` picks which
+  refcount-zero cached prefixes to drop.  The engine always exhausts
+  cache eviction *before* consulting :meth:`select_victims` — cached
+  pages are speculative capacity, running requests are paid-for work —
+  so the default LRU sweep is part of the eviction-before-preemption
+  contract pinned by the serving invariant suite.
 
 Policies are registered by name in :data:`POLICIES` and instantiated
 with :func:`get_policy`; the serving CLI's ``--policy`` flag and
@@ -88,6 +96,28 @@ class SchedulingPolicy:
         free enough space, so a partial list is safe.
         """
         return []
+
+    def select_cache_evictions(
+        self, evictable: Sequence, need_bytes: int
+    ) -> List:
+        """Cached prefixes to evict so the head candidate can be admitted.
+
+        ``evictable`` holds the rank's currently reclaimable
+        :class:`~repro.serving.scheduler.CacheEntry` objects
+        (refcount-zero and childless) in LRU order; the engine calls
+        again with newly unpinned parents until ``need_bytes`` is met or
+        nothing remains, and only executes a plan that it can combine
+        with preemption to actually close the gap.  The default takes
+        the LRU prefix that covers the need.
+        """
+        chosen: List = []
+        freed = 0
+        for entry in evictable:
+            if freed >= need_bytes:
+                break
+            chosen.append(entry)
+            freed += entry.owned_bytes
+        return chosen
 
     def prefill_chunk(self, remaining_tokens: int) -> int:
         """Prefix tokens one engine iteration may prefill (>= 1)."""
@@ -164,7 +194,7 @@ class PriorityPolicy(SchedulingPolicy):
             if freed >= need_bytes:
                 break
             victims.append(state)
-            freed += state.kv_bytes
+            freed += state.kv_private
         return victims if freed >= need_bytes else []
 
 

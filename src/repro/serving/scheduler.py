@@ -51,6 +51,17 @@ substrate the way a production serving stack would:
   :func:`~repro.model.cost.model_inference_cost`), otherwise admission
   stalls until running requests complete.  A request that can never
   fit is rejected up front.
+* **KV prefix cache** — with ``prefix_cache=True`` each rank keeps a
+  :class:`PrefixCache` of refcounted KV prefixes: a finished
+  non-final turn retains its KV pages for the session's next turn, and
+  the first prefill of a shared system prompt retains the prompt's
+  pages for other sessions.  A hit admits at the cost of only the
+  uncached suffix (``prefill_chunk_stats`` over the tail, KV
+  reservation for the new bytes only — shared pages count **once**
+  against the MRAM budget).  Under KV pressure, LRU eviction over
+  refcount-zero, childless entries fires *before* preemption: victims
+  are consulted only for whatever gap eviction cannot close, an
+  explicit ordering contract pinned by the invariant suite.
 * **Observability hooks** — every scheduling decision (arrival,
   admission, preemption, requeue, prefill chunk, first token, decode
   advance, finish, rejection) is emitted through a
@@ -108,6 +119,8 @@ from repro.serving.trace import Request
 
 __all__ = [
     "ENGINES",
+    "CacheEntry",
+    "PrefixCache",
     "ServingConfig",
     "RequestRecord",
     "RankStats",
@@ -119,6 +132,202 @@ __all__ = [
 #: default event-driven closed-form segments, or the per-token
 #: reference loop.
 ENGINES = ("event", "loop")
+
+
+@dataclass
+class CacheEntry:
+    """One retained KV prefix in a rank's :class:`PrefixCache`.
+
+    ``key`` identifies the token prefix — ``("sys", prefix_id)`` for a
+    shared system prompt, ``("sess", session_id, turn)`` for the full
+    context a session's next ``turn`` resumes from.  ``owned_bytes`` is
+    only this entry's tail beyond its ``parent``; the bytes of a cached
+    depth are the sum over the parent chain, so shared pages are counted
+    once no matter how many sessions chain off them.  ``refcount``
+    counts *requests* currently resuming from the entry, ``children``
+    counts chained entries; an entry is evictable only when both are
+    zero (LRU by ``last_used_s``, insertion ``seq`` as the tie-break).
+    """
+
+    key: Tuple
+    depth_tokens: int
+    owned_bytes: int
+    parent: Optional["CacheEntry"]
+    refcount: int = 0
+    children: int = 0
+    last_used_s: float = 0.0
+    seq: int = 0
+
+
+class PrefixCache:
+    """Refcounted per-rank cache of KV prefixes (radix-tree-lite).
+
+    Entries form parent chains (system prompt → session turns) rather
+    than a full radix tree: the workload only ever extends a prefix at
+    its tip, so each entry owns its tail bytes and pins its parent via
+    ``children``.  ``total_bytes`` is the cache's share of the rank's
+    ``kv_used`` accounting — transferred in from finished requests, out
+    on eviction, never double-counted.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, CacheEntry] = {}
+        self.total_bytes = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[CacheEntry]:
+        """All live entries (insertion order; test/introspection helper)."""
+        return list(self._entries.values())
+
+    def get(self, key: Tuple) -> Optional[CacheEntry]:
+        """The entry stored under ``key``, or None."""
+        return self._entries.get(key)
+
+    def lookup(self, request: Request) -> Optional[CacheEntry]:
+        """Deepest cached prefix of ``request``'s prompt, if any.
+
+        A session's next turn resumes from the full prior context when
+        the previous turn finished in time; otherwise (and for first
+        turns) the shared system prompt alone may still hit.
+        """
+        if request.session_id >= 0 and request.turn > 0:
+            hit = self._entries.get(("sess", request.session_id, request.turn))
+            if hit is not None:
+                return hit
+        if request.shared_prefix_id >= 0:
+            return self._entries.get(("sys", request.shared_prefix_id))
+        return None
+
+    def insert(
+        self,
+        key: Tuple,
+        depth_tokens: int,
+        owned_bytes: int,
+        parent: Optional[CacheEntry],
+        now_s: float,
+    ) -> CacheEntry:
+        """Insert a new entry owning ``owned_bytes`` beyond ``parent``.
+
+        Pins the parent (``children`` += 1) and adds the owned tail to
+        ``total_bytes``; raises ``ValueError`` on a duplicate key.
+        """
+        if key in self._entries:
+            raise ValueError(f"cache entry {key!r} already present")
+        entry = CacheEntry(
+            key=key, depth_tokens=depth_tokens, owned_bytes=owned_bytes,
+            parent=parent, last_used_s=now_s, seq=self._seq,
+        )
+        self._seq += 1
+        if parent is not None:
+            parent.children += 1
+        self._entries[key] = entry
+        self.total_bytes += owned_bytes
+        return entry
+
+    def acquire(self, entry: CacheEntry, now_s: float) -> None:
+        """Pin ``entry`` for a request and refresh its LRU timestamp."""
+        entry.refcount += 1
+        entry.last_used_s = now_s
+
+    def release(self, entry: CacheEntry) -> None:
+        """Drop one request reference; raises if already at zero."""
+        if entry.refcount <= 0:
+            raise ValueError(f"cache entry {entry.key!r} released below zero")
+        entry.refcount -= 1
+
+    def refcount_total(self) -> int:
+        """Sum of request references across entries (0 once drained)."""
+        return sum(e.refcount for e in self._entries.values())
+
+    @staticmethod
+    def chain(entry: Optional[CacheEntry]) -> set:
+        """ids of ``entry`` and its ancestors (the eviction-exempt set)."""
+        out = set()
+        while entry is not None:
+            out.add(id(entry))
+            entry = entry.parent
+        return out
+
+    def evictable(self, exclude: set = frozenset()) -> List[CacheEntry]:
+        """Immediately evictable entries in LRU order.
+
+        Refcount-zero, childless, and outside ``exclude`` (the candidate
+        request's own hit chain).  If this list is empty, no entry is
+        reclaimable even transitively — parents only unpin after a
+        childless descendant goes first.
+        """
+        return sorted(
+            (
+                e for e in self._entries.values()
+                if e.refcount == 0 and e.children == 0 and id(e) not in exclude
+            ),
+            key=lambda e: (e.last_used_s, e.seq),
+        )
+
+    def evictable_bytes(self, exclude: set = frozenset()) -> int:
+        """Bytes reclaimable right now — 0 whenever preemption fires."""
+        return sum(e.owned_bytes for e in self.evictable(exclude))
+
+    def plan_evictions(
+        self,
+        policy: SchedulingPolicy,
+        need_bytes: int,
+        exclude: set = frozenset(),
+    ) -> Tuple[List[CacheEntry], int]:
+        """Plan (without executing) evictions freeing ``need_bytes``.
+
+        Repeatedly offers the policy the currently-evictable entries in
+        LRU order (simulating the child-release of already-planned
+        evictions, so a whole refcount-zero session chain can be
+        reclaimed tip-first in one plan) until the need is met or
+        nothing more is reclaimable.  Returns the planned entries in
+        eviction order and the bytes they free.
+        """
+        planned: List[CacheEntry] = []
+        planned_ids: set = set()
+        released: Dict[int, int] = {}
+        freed = 0
+        while freed < need_bytes:
+            candidates = sorted(
+                (
+                    e for e in self._entries.values()
+                    if id(e) not in planned_ids and id(e) not in exclude
+                    and e.refcount == 0
+                    and e.children - released.get(id(e), 0) == 0
+                ),
+                key=lambda e: (e.last_used_s, e.seq),
+            )
+            if not candidates:
+                break
+            chosen = policy.select_cache_evictions(candidates, need_bytes - freed)
+            if not chosen:
+                break
+            for entry in chosen:
+                if id(entry) in planned_ids:
+                    continue
+                planned.append(entry)
+                planned_ids.add(id(entry))
+                freed += entry.owned_bytes
+                if entry.parent is not None:
+                    parent_id = id(entry.parent)
+                    released[parent_id] = released.get(parent_id, 0) + 1
+        return planned, freed
+
+    def evict(self, entry: CacheEntry) -> None:
+        """Remove ``entry``, returning its owned bytes to the rank and
+        unpinning its parent; raises if still referenced or chained."""
+        if entry.refcount or entry.children:
+            raise ValueError(
+                f"cache entry {entry.key!r} still referenced "
+                f"(refcount={entry.refcount}, children={entry.children})"
+            )
+        del self._entries[entry.key]
+        self.total_bytes -= entry.owned_bytes
+        if entry.parent is not None:
+            entry.parent.children -= 1
 
 
 @dataclass(frozen=True)
@@ -146,6 +355,10 @@ class ServingConfig:
         Decode-advance strategy from :data:`ENGINES`: the default
         ``"event"`` (closed-form multi-token segments between scheduler
         events) or the per-token reference ``"loop"``.
+    prefix_cache:
+        Enable the per-rank KV :class:`PrefixCache` (off by default;
+        when off the simulator is bit-identical to the pre-cache
+        behavior).
     """
 
     model: str = "gpt-350m"
@@ -157,6 +370,7 @@ class ServingConfig:
     policy: str = "fcfs"
     prefill_chunk_tokens: int = 32
     engine: str = "event"
+    prefix_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.kernel not in COST_KERNELS:
@@ -196,7 +410,9 @@ class RequestRecord:
     Timestamps are absolute simulation seconds; ``None`` until the event
     happens (rejected requests never admit).  ``admit_s`` is the *first*
     admission — a preempted request keeps it, and every eviction bumps
-    ``preemptions``.
+    ``preemptions``.  ``cache_hit`` / ``cached_tokens`` describe the
+    prefix-cache outcome of that first admission (always miss/0 with the
+    cache disabled).
     """
 
     req_id: int
@@ -211,6 +427,10 @@ class RequestRecord:
     first_token_s: Optional[float] = None
     finish_s: Optional[float] = None
     preemptions: int = 0
+    session_id: int = -1
+    turn: int = 0
+    cache_hit: bool = False
+    cached_tokens: int = 0
 
     @property
     def queue_s(self) -> float:
@@ -253,6 +473,13 @@ class RankStats:
     requeues: int = 0
     recompute_tokens: int = 0
     kv_peak_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_hit_tokens: int = 0
+    kv_logical_bytes: int = 0
+    kv_reserved_bytes: int = 0
+    kv_final_bytes: int = 0
 
     @property
     def utilization(self) -> float:
@@ -269,6 +496,9 @@ class ServingResult:
     rank_stats: List[RankStats]
     kv_capacity_bytes: int
     weight_bytes: int
+    #: Per-rank :class:`PrefixCache` instances at drain (empty when the
+    #: cache is disabled, and for replayed results).
+    prefix_caches: Tuple = ()
 
     @property
     def makespan_s(self) -> float:
@@ -294,6 +524,21 @@ class ServingResult:
     def preemptions(self) -> int:
         """KV-pressure evictions across every replica."""
         return sum(rs.preemptions for rs in self.rank_stats)
+
+    @property
+    def cache_hits(self) -> int:
+        """Prefix-cache admission hits across every replica."""
+        return sum(rs.cache_hits for rs in self.rank_stats)
+
+    @property
+    def cache_misses(self) -> int:
+        """Prefix-cache admission misses across every replica."""
+        return sum(rs.cache_misses for rs in self.rank_stats)
+
+    @property
+    def cache_evictions(self) -> int:
+        """Prefix-cache entry evictions across every replica."""
+        return sum(rs.cache_evictions for rs in self.rank_stats)
 
 
 class _CostCache:
@@ -469,7 +714,12 @@ class _RequestState:
 
     ``prefix_target`` / ``prefix_done`` track the prefix (prompt plus
     any previously generated tokens after a preemption) that must be
-    prefilled before the request may decode again.
+    prefilled before the request may decode again; a prefix-cache hit
+    pre-credits ``prefix_done`` so only the uncached tail is prefilled.
+    ``kv_bytes`` is the request's full logical KV footprint;
+    ``kv_private`` the bytes it actually reserved this admission (the
+    footprint minus the cached prefix — equal to ``kv_bytes`` whenever
+    the cache is off or missed).
     """
 
     request: Request
@@ -478,6 +728,9 @@ class _RequestState:
     tokens_out: int = 0
     prefix_target: int = 0
     prefix_done: int = 0
+    cached_tokens: int = 0
+    kv_private: int = 0
+    cache_entry: Optional[CacheEntry] = None
 
 
 class _RankEngine:
@@ -518,6 +771,7 @@ class _RankEngine:
                     req_id=r.req_id, rank=rank, arrival_s=r.arrival_s,
                     prompt_tokens=r.prompt_tokens, gen_tokens=r.gen_tokens,
                     priority=r.priority, slo_ttft_s=r.slo_ttft_s,
+                    session_id=r.session_id, turn=r.turn,
                 ),
                 kv_bytes=model.kv_cache_bytes(1, r.prompt_tokens + r.gen_tokens),
             )
@@ -530,6 +784,7 @@ class _RankEngine:
         self.kv_used = 0
         self._seq = 0  # heap tie-break counter
         self._event_driven = config.engine == "event"
+        self.prefix_cache = PrefixCache() if config.prefix_cache else None
 
     # -- ready-queue helpers ------------------------------------------------
 
@@ -547,26 +802,53 @@ class _RankEngine:
 
     # -- admission + preemption ---------------------------------------------
 
-    def _preempt(self, victims: Sequence[_RequestState]) -> None:
+    def _preempt(
+        self, victims: Sequence[_RequestState], evictable_bytes: int = 0
+    ) -> None:
+        pc = self.prefix_cache
         for victim in victims:
             self.running.remove(victim)
-            self.kv_used -= victim.kv_bytes
+            self.kv_used -= victim.kv_private
             victim.record.preemptions += 1
             self.stats.preemptions += 1
             victim.prefix_done = 0
             if self._trace is not None:
                 self._trace.preempt(self.clock, self.rank,
-                                    victim.record.req_id, victim.kv_bytes,
-                                    victim.tokens_out)
+                                    victim.record.req_id, victim.kv_private,
+                                    victim.tokens_out, evictable_bytes)
                 self._trace.requeue(self.clock, self.rank,
                                     victim.record.req_id)
+            if pc is not None and victim.cache_entry is not None:
+                pc.release(victim.cache_entry)
+                victim.cache_entry = None
+            victim.cached_tokens = 0
+            victim.kv_private = 0
             self._enqueue(victim)
 
+    def _evict_entries(self, entries: Sequence[CacheEntry]) -> None:
+        """Execute a planned eviction list (children precede parents)."""
+        pc = self.prefix_cache
+        for entry in entries:
+            pc.evict(entry)
+            self.kv_used -= entry.owned_bytes
+            self.stats.cache_evictions += 1
+            if self._trace is not None:
+                self._trace.cache_evict(
+                    self.clock, self.rank, ":".join(map(str, entry.key)),
+                    entry.depth_tokens, entry.owned_bytes,
+                )
+
     def _admit(self) -> None:
+        pc = self.prefix_cache
+        model = self.cache.model
         while self.ready:
             if len(self.running) + len(self.prefilling) >= self.config.max_batch:
                 break
             key, seq, state = heapq.heappop(self.ready)
+            # Rejection ignores the cache on purpose: admission must
+            # stay feasible even if the hit is later evicted after a
+            # preemption, so the cache never changes *which* requests
+            # are servable, only how cheaply.
             if state.kv_bytes > self.kv_capacity:
                 state.record.status = "rejected"
                 self.records.append(state.record)
@@ -574,18 +856,47 @@ class _RankEngine:
                     self._trace.reject(self.clock, self.rank,
                                        state.record.req_id, state.kv_bytes)
                 continue
-            if self.kv_used + state.kv_bytes > self.kv_capacity:
-                need = self.kv_used + state.kv_bytes - self.kv_capacity
-                victims = self.policy.select_victims(state, self.running, need)
-                # Honor the policy contract: evict only if the victims
-                # actually close the KV gap.
-                if victims and sum(v.kv_bytes for v in victims) >= need:
-                    self._preempt(victims)
-                if self.kv_used + state.kv_bytes > self.kv_capacity:
-                    # Same (key, seq): the candidate returns to its slot.
-                    heapq.heappush(self.ready, (key, seq, state))
-                    break
-            self.kv_used += state.kv_bytes
+            hit = pc.lookup(state.request) if pc is not None else None
+            cached = hit.depth_tokens if hit is not None else 0
+            need = state.kv_bytes - (
+                model.kv_cache_bytes(1, cached) if cached else 0
+            )
+            if self.kv_used + need > self.kv_capacity:
+                gap = self.kv_used + need - self.kv_capacity
+                plan: List[CacheEntry] = []
+                freed = 0
+                exclude: set = frozenset()
+                if pc is not None:
+                    exclude = pc.chain(hit)
+                    plan, freed = pc.plan_evictions(self.policy, gap, exclude)
+                if freed >= gap:
+                    # Eviction alone closes the gap: no preemption.
+                    self._evict_entries(plan)
+                else:
+                    victims = self.policy.select_victims(
+                        state, self.running, gap - freed
+                    )
+                    # Honor the policy contract: evict/preempt only if
+                    # that actually closes the KV gap — and evictions
+                    # always go first, leaving nothing reclaimable by
+                    # the time a victim is preempted.
+                    if victims and sum(
+                        v.kv_private for v in victims
+                    ) >= gap - freed:
+                        self._evict_entries(plan)
+                        evictable = (
+                            pc.evictable_bytes(exclude)
+                            if pc is not None and self._trace is not None
+                            else 0
+                        )
+                        self._preempt(victims, evictable)
+                    if self.kv_used + need > self.kv_capacity:
+                        # Same (key, seq): the candidate returns to its
+                        # slot (cache state may differ on the next try,
+                        # so the hit is re-resolved then).
+                        heapq.heappush(self.ready, (key, seq, state))
+                        break
+            self.kv_used += need
             self.stats.kv_peak_bytes = max(self.stats.kv_peak_bytes, self.kv_used)
             readmit = state.record.admit_s is not None
             if not readmit:
@@ -596,11 +907,34 @@ class _RankEngine:
                     state.request.prompt_tokens + state.tokens_out
                 )
             state.prefix_target = state.request.prompt_tokens + state.tokens_out
-            state.prefix_done = 0
+            state.prefix_done = cached
+            state.cached_tokens = cached
+            state.kv_private = need
+            if pc is not None:
+                if hit is not None:
+                    pc.acquire(hit, self.clock)
+                    state.cache_entry = hit
+                if cached > 0:
+                    self.stats.cache_hits += 1
+                    self.stats.cache_hit_tokens += cached
+                else:
+                    self.stats.cache_misses += 1
+                if not readmit:
+                    state.record.cache_hit = cached > 0
+                    state.record.cached_tokens = cached
+            self.stats.kv_logical_bytes += state.kv_bytes
+            self.stats.kv_reserved_bytes += need
             if self._trace is not None:
                 self._trace.admit(self.clock, self.rank, state.record.req_id,
-                                  state.kv_bytes, self.kv_used, readmit,
-                                  state.prefix_target)
+                                  need, self.kv_used, readmit,
+                                  state.prefix_target,
+                                  cached if pc is not None else -1,
+                                  state.kv_bytes)
+                if cached > 0:
+                    self._trace.cache_hit(
+                        self.clock, self.rank, state.record.req_id, cached,
+                        state.kv_bytes - need,
+                    )
             self.prefilling.append(state)
 
     # -- work stages ---------------------------------------------------------
@@ -625,10 +959,72 @@ class _RankEngine:
                                               state.record.req_id, chunk,
                                               latency, energy)
             if state.prefix_done >= state.prefix_target:
+                self._retain_shared_prefix(state)
                 self.running.append(state)
             else:
                 still.append(state)
         self.prefilling = still
+
+    def _retain_shared_prefix(self, state: _RequestState) -> None:
+        """Publish a freshly prefilled system prompt into the cache.
+
+        Fires once per shared prefix per rank: the first request to
+        prefill a system prompt from scratch (no hit covered it) carves
+        the prompt's pages out of its private reservation into a
+        ``("sys", id)`` entry other sessions can resume from.  The bytes
+        merely change owner — ``kv_used`` is untouched.
+        """
+        pc = self.prefix_cache
+        request = state.request
+        if (
+            pc is None
+            or request.shared_prefix_id < 0
+            or state.cached_tokens >= request.shared_prefix_tokens
+        ):
+            return
+        key = ("sys", request.shared_prefix_id)
+        if pc.get(key) is not None:
+            return
+        owned = self.cache.model.kv_cache_bytes(1, request.shared_prefix_tokens)
+        entry = pc.insert(
+            key, request.shared_prefix_tokens, owned, None, self.clock
+        )
+        state.kv_private -= owned
+        pc.acquire(entry, self.clock)
+        state.cache_entry = entry
+
+    def _release_kv(self, state: _RequestState) -> None:
+        """Release a finished request's KV — or hand it to the cache.
+
+        A finished non-final turn donates its private pages as the
+        ``("sess", session, turn + 1)`` entry the session's next turn
+        resumes from (chained onto whatever prefix this turn resumed
+        from, so shared bytes stay counted once); everything else frees
+        its private reservation and drops its cache reference.
+        """
+        pc = self.prefix_cache
+        request = state.request
+        if (
+            pc is not None
+            and request.session_id >= 0
+            and not request.final_turn
+        ):
+            key = ("sess", request.session_id, request.turn + 1)
+            if pc.get(key) is None:
+                pc.insert(
+                    key, request.prompt_tokens + request.gen_tokens,
+                    state.kv_private, state.cache_entry, self.clock,
+                )
+                if state.cache_entry is not None:
+                    pc.release(state.cache_entry)
+                    state.cache_entry = None
+                state.kv_private = 0
+                return
+        self.kv_used -= state.kv_private
+        state.kv_private = 0
+        if pc is not None and state.cache_entry is not None:
+            pc.release(state.cache_entry)
+            state.cache_entry = None
 
     def _decode_iteration(self) -> None:
         latency, energy = self.cache.weight_step(len(self.running))
@@ -656,7 +1052,7 @@ class _RankEngine:
                                       state.record.req_id)
             if state.tokens_out >= state.request.gen_tokens:
                 state.record.finish_s = self.clock
-                self.kv_used -= state.kv_bytes
+                self._release_kv(state)
                 self.records.append(state.record)
                 if trace is not None:
                     trace.finish(self.clock, self.rank, state.record.req_id,
@@ -759,7 +1155,7 @@ class _RankEngine:
             state.tokens_out += tokens
             if state.tokens_out >= state.request.gen_tokens:
                 state.record.finish_s = self.clock
-                self.kv_used -= state.kv_bytes
+                self._release_kv(state)
                 self.records.append(state.record)
                 if trace is not None:
                     trace.finish(self.clock, self.rank, state.record.req_id,
@@ -799,6 +1195,9 @@ class _RankEngine:
                 # Idle: jump to the next arrival.
                 self.clock = max(self.clock, self.pending[0].request.arrival_s)
         self.stats.finish_s = self.clock
+        # Whatever KV is still reserved at drain belongs to the cache
+        # (every request released or donated its private pages).
+        self.stats.kv_final_bytes = self.kv_used
         return self.records, self.stats
 
 
@@ -813,9 +1212,11 @@ def simulate_trace(
 ) -> ServingResult:
     """Simulate serving ``trace`` under ``config``; returns the full result.
 
-    Requests are assigned to rank replicas round-robin in arrival order;
-    each replica then runs its continuous-batching engine independently
-    (replicas share nothing but the host).  ``scheme_policy`` defaults
+    Requests are assigned to rank replicas round-robin in arrival order
+    — except session turns, which all land on ``session_id mod
+    num_ranks`` so a rank's prefix cache can serve the whole
+    conversation; each replica then runs its continuous-batching engine
+    independently (replicas share nothing but the host).  ``scheme_policy`` defaults
     to the uniform ``config.scheme`` quantization policy;
     ``sched_policy`` overrides the scheduling policy named by
     ``config.policy`` (useful for pre-configured policy instances).
@@ -854,16 +1255,22 @@ def simulate_trace(
     shards: List[List[Request]] = [[] for _ in range(config.num_ranks)]
     ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
     for i, request in enumerate(ordered):
-        shards[i % config.num_ranks].append(request)
+        if request.session_id >= 0:
+            shards[request.session_id % config.num_ranks].append(request)
+        else:
+            shards[i % config.num_ranks].append(request)
 
     records: List[RequestRecord] = []
     rank_stats: List[RankStats] = []
+    prefix_caches: List[Optional[PrefixCache]] = []
     for rank, shard in enumerate(shards):
         engine = _RankEngine(rank, shard, cache, config, kv_capacity,
                              sched_policy, tracer=tracer, profiler=profiler)
         shard_records, shard_stats = engine.run()
         records.extend(shard_records)
         rank_stats.append(shard_stats)
+        if engine.prefix_cache is not None:
+            prefix_caches.append(engine.prefix_cache)
     records.sort(key=lambda rec: rec.req_id)
     return ServingResult(
         config=config,
@@ -871,4 +1278,5 @@ def simulate_trace(
         rank_stats=rank_stats,
         kv_capacity_bytes=kv_capacity,
         weight_bytes=weight_bytes,
+        prefix_caches=tuple(prefix_caches),
     )

@@ -17,6 +17,13 @@ produce identical traces.  Three arrival **scenarios** are available
 * ``diurnal`` — a non-homogeneous Poisson process whose rate follows a
   sinusoidal day/night cycle, ``rate(t) = base * (1 + amplitude *
   sin(2 pi t / period))``, drawn by thinning.
+* ``conversational`` — session-structured multi-turn traffic: sessions
+  start as a Poisson process, each holds a correlated sequence of turns
+  separated by exponential think-time gaps, every turn's prompt carries
+  a shared system prompt (drawn from a small pool) plus the full prior
+  context of the session (earlier prompts and replies), so consecutive
+  turns share a growing token prefix — the shape a KV prefix cache
+  exploits.
 
 All draws are vectorised numpy block draws (no per-request RNG calls),
 so 100k-request traces generate in milliseconds.
@@ -57,7 +64,7 @@ __all__ = [
 ]
 
 #: Arrival scenarios understood by :func:`generate_trace`.
-SCENARIOS = ("steady", "bursty", "diurnal")
+SCENARIOS = ("steady", "bursty", "diurnal", "conversational")
 
 
 @dataclass(frozen=True)
@@ -82,6 +89,26 @@ class Request:
     slo_ttft_s:
         Time-to-first-token SLO in seconds (0 = no SLO).  Feeds the
         SLO-attainment metric and the ``priority`` policy's deadlines.
+    session_id:
+        Conversation the request belongs to (-1 = single-shot).  The
+        scheduler shards all turns of a session onto the same rank so
+        the prefix cache can serve them.
+    turn:
+        Zero-based turn index within the session.
+    shared_prefix_id:
+        System-prompt identity shared across sessions (-1 = none).
+        Turns with the same id begin with the same
+        ``shared_prefix_tokens``-token prefix.
+    shared_prefix_tokens:
+        Length of the shared system prompt at the head of the prompt.
+    context_tokens:
+        Carried-over session context (all earlier prompts and replies of
+        this session) sitting between the shared prefix and the new user
+        message.  ``prompt_tokens`` always covers shared prefix +
+        context + at least one new token.
+    final_turn:
+        True when this is the session's last turn, so the scheduler can
+        stop retaining the session's KV prefix for a successor.
     """
 
     req_id: int
@@ -90,6 +117,12 @@ class Request:
     gen_tokens: int
     priority: int = 0
     slo_ttft_s: float = 0.0
+    session_id: int = -1
+    turn: int = 0
+    shared_prefix_id: int = -1
+    shared_prefix_tokens: int = 0
+    context_tokens: int = 0
+    final_turn: bool = True
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -102,6 +135,23 @@ class Request:
             raise ValueError(f"priority must be >= 0, got {self.priority}")
         if self.slo_ttft_s < 0:
             raise ValueError(f"slo_ttft_s must be >= 0, got {self.slo_ttft_s}")
+        if self.turn < 0:
+            raise ValueError(f"turn must be >= 0, got {self.turn}")
+        if self.shared_prefix_tokens < 0 or self.context_tokens < 0:
+            raise ValueError(
+                f"prefix/context token counts must be >= 0, got "
+                f"{self.shared_prefix_tokens}/{self.context_tokens}"
+            )
+        if self.shared_prefix_id < 0 and self.shared_prefix_tokens > 0:
+            raise ValueError(
+                "shared_prefix_tokens requires a shared_prefix_id >= 0"
+            )
+        if self.prompt_tokens < self.shared_prefix_tokens + self.context_tokens + 1:
+            raise ValueError(
+                f"prompt_tokens ({self.prompt_tokens}) must cover the shared "
+                f"prefix ({self.shared_prefix_tokens}) + carried context "
+                f"({self.context_tokens}) + at least one new token"
+            )
 
 
 @dataclass(frozen=True)
@@ -131,10 +181,26 @@ class TraceSpec:
         one token).
     gen_mean / gen_sigma / gen_max:
         Same three knobs for the generation length.
+    sessions / turns_mean / turns_max / think_time_mean_s:
+        Conversational knobs: the trace is split across ``sessions``
+        conversations (capped at ``num_requests``); per-session turn
+        counts are ``1 + Poisson(turns_mean - 1)`` clipped to
+        ``turns_max`` and rebalanced so they sum to ``num_requests``
+        exactly; consecutive turns are separated by exponential
+        think-time gaps with mean ``think_time_mean_s``.  For the
+        conversational scenario ``prompt_mean``/``prompt_sigma`` size
+        the *new user message* of each turn; the full prompt adds the
+        shared prefix and carried context on top (and may exceed
+        ``prompt_max``, which clips only the user-message draw).
+    system_prompt_pool / system_prompt_tokens:
+        Each session samples one of ``system_prompt_pool`` system
+        prompts of ``system_prompt_tokens`` tokens, shared across
+        sessions — the cross-session prefix a KV cache deduplicates.
+        Either knob at 0 disables shared prefixes.
     priority_weights:
         Sampling weights for priority tiers 0..n-1 (tier 0 most
         important).  The default single tier reproduces priority-free
-        traces.
+        traces.  Conversational traces draw one tier per session.
     slo_ttft_s:
         Per-tier TTFT SLOs in seconds; empty = no SLOs, otherwise must
         match ``priority_weights`` in length (0 entries mean "no SLO
@@ -157,6 +223,12 @@ class TraceSpec:
     gen_mean: float = 64.0
     gen_sigma: float = 0.6
     gen_max: int = 512
+    sessions: int = 8
+    turns_mean: float = 4.0
+    turns_max: int = 64
+    think_time_mean_s: float = 10.0
+    system_prompt_pool: int = 4
+    system_prompt_tokens: int = 128
     priority_weights: Tuple[float, ...] = (1.0,)
     slo_ttft_s: Tuple[float, ...] = ()
     seed: int = 0
@@ -193,6 +265,17 @@ class TraceSpec:
         for name in ("prompt_max", "gen_max"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        for name in ("sessions", "turns_max"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.turns_mean < 1:
+            raise ValueError(f"turns_mean must be >= 1, got {self.turns_mean}")
+        for name in ("think_time_mean_s", "system_prompt_pool",
+                     "system_prompt_tokens"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
         if not self.priority_weights:
             raise ValueError("priority_weights must name at least one tier")
         if any(w <= 0 for w in self.priority_weights):
@@ -311,6 +394,116 @@ _ARRIVAL_GENERATORS = {
 }
 
 
+def _turn_counts(rng: np.random.Generator, spec: TraceSpec, s: int) -> np.ndarray:
+    """Per-session turn counts summing to exactly ``num_requests``.
+
+    Draw ``1 + Poisson(turns_mean - 1)`` per session, clip to
+    ``turns_max``, then rebalance in vectorised rounds: surplus turns
+    are removed from the longest-drawn sessions first, deficits filled
+    one turn per session per round.  Fully seeded; no per-turn draws.
+    """
+    n = spec.num_requests
+    if s * spec.turns_max < n:
+        raise ValueError(
+            f"conversational trace infeasible: {s} sessions x turns_max "
+            f"{spec.turns_max} < num_requests {n}; raise sessions or turns_max"
+        )
+    counts = 1 + rng.poisson(max(spec.turns_mean - 1.0, 0.0), size=s)
+    counts = np.minimum(counts, spec.turns_max)
+    deficit = n - int(counts.sum())
+    while deficit > 0:
+        room = np.flatnonzero(counts < spec.turns_max)
+        grow = room[:deficit]
+        counts[grow] += 1
+        deficit -= grow.size
+    while deficit < 0:
+        order = np.argsort(-counts, kind="stable")
+        rich = order[counts[order] > 1]
+        shrink = rich[:-deficit]
+        counts[shrink] -= 1
+        deficit += shrink.size
+    return counts
+
+
+def _conversational_trace(rng: np.random.Generator, spec: TraceSpec) -> List[Request]:
+    """Session-structured multi-turn trace (see the module docstring).
+
+    Vectorised construction: session starts are a Poisson process at
+    ``arrival_rate_per_s * sessions / num_requests`` (so the long-run
+    request rate matches ``arrival_rate_per_s``); turns within a session
+    follow at exponential think-time gaps; each turn's prompt is the
+    session's shared system prompt + all prior context (earlier user
+    messages and replies, *not* clipped by ``prompt_max``) + a fresh
+    log-normal user message.  Draw order: turn counts, session starts,
+    system-prompt ids, think gaps, user-message lengths, generation
+    lengths, per-session priorities.
+    """
+    n = spec.num_requests
+    if n == 0:
+        return []
+    s = min(spec.sessions, n)
+    counts = _turn_counts(rng, spec, s)
+    session_rate = spec.arrival_rate_per_s * s / n
+    session_starts = np.cumsum(
+        rng.exponential(scale=1.0 / session_rate, size=s)
+    )
+    if spec.system_prompt_pool > 0 and spec.system_prompt_tokens > 0:
+        sys_ids = rng.integers(0, spec.system_prompt_pool, size=s)
+    else:
+        sys_ids = np.full(s, -1)
+    shared = np.where(sys_ids >= 0, spec.system_prompt_tokens, 0)
+    # starts[k] = flat index of session k's first turn.
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    if spec.think_time_mean_s > 0:
+        gaps = rng.exponential(scale=spec.think_time_mean_s, size=n)
+    else:
+        gaps = np.zeros(n)
+    gaps[starts] = 0.0
+    cum_gaps = np.cumsum(gaps)
+    # Within-session cumulative think time: subtract each session's base.
+    offsets = cum_gaps - np.repeat(cum_gaps[starts], counts)
+    arrivals = np.repeat(session_starts, counts) + offsets
+    users = _lengths(rng, n, spec.prompt_mean, spec.prompt_sigma, spec.prompt_max)
+    gens = _lengths(rng, n, spec.gen_mean, spec.gen_sigma, spec.gen_max)
+    if len(spec.priority_weights) == 1:
+        priorities = np.zeros(s, dtype=int)
+    else:
+        weights = np.asarray(spec.priority_weights, dtype=float)
+        priorities = rng.choice(len(weights), size=s, p=weights / weights.sum())
+    # Carried context: running total of earlier (user + reply) tokens,
+    # rebased per session by the same repeat-of-start trick as arrivals.
+    totals = users + gens
+    prior = np.cumsum(totals) - totals
+    context = prior - np.repeat(prior[starts], counts)
+    prompts = np.repeat(shared, counts) + context + users
+    turn_idx = np.arange(n) - np.repeat(starts, counts)
+    final = turn_idx == np.repeat(counts - 1, counts)
+    session_of = np.repeat(np.arange(s), counts)
+    slos = spec.slo_ttft_s if spec.slo_ttft_s else None
+    # Turns of one session are already time-ordered; a stable sort keeps
+    # them in turn order even when think times are zero.
+    order = np.argsort(arrivals, kind="stable")
+    return [
+        Request(
+            req_id=pos,
+            arrival_s=float(arrivals[i]),
+            prompt_tokens=int(prompts[i]),
+            gen_tokens=int(gens[i]),
+            priority=int(priorities[session_of[i]]),
+            slo_ttft_s=(
+                float(slos[priorities[session_of[i]]]) if slos is not None else 0.0
+            ),
+            session_id=int(session_of[i]),
+            turn=int(turn_idx[i]),
+            shared_prefix_id=int(sys_ids[session_of[i]]),
+            shared_prefix_tokens=int(shared[session_of[i]]),
+            context_tokens=int(context[i]),
+            final_turn=bool(final[i]),
+        )
+        for pos, i in enumerate(order)
+    ]
+
+
 def generate_trace(spec: TraceSpec) -> List[Request]:
     """Generate the seeded synthetic trace described by ``spec``.
 
@@ -321,6 +514,8 @@ def generate_trace(spec: TraceSpec) -> List[Request]:
     """
     rng = np.random.default_rng(spec.seed)
     n = spec.num_requests
+    if spec.scenario == "conversational":
+        return _conversational_trace(rng, spec)
     arrivals = _ARRIVAL_GENERATORS[spec.scenario](rng, spec)
     prompts = _lengths(rng, n, spec.prompt_mean, spec.prompt_sigma, spec.prompt_max)
     gens = _lengths(rng, n, spec.gen_mean, spec.gen_sigma, spec.gen_max)
@@ -353,6 +548,12 @@ def trace_rows(trace: Sequence[Request]) -> List[dict]:
             "gen_tokens": r.gen_tokens,
             "priority": r.priority,
             "slo_ttft_s": r.slo_ttft_s,
+            "session_id": r.session_id,
+            "turn": r.turn,
+            "shared_prefix_id": r.shared_prefix_id,
+            "shared_prefix_tokens": r.shared_prefix_tokens,
+            "context_tokens": r.context_tokens,
+            "final_turn": r.final_turn,
         }
         for r in trace
     ]
@@ -361,8 +562,9 @@ def trace_rows(trace: Sequence[Request]) -> List[dict]:
 def rows_to_trace(rows: Sequence[dict]) -> List[Request]:
     """Inverse of :func:`trace_rows`: rebuild the trace from row dicts.
 
-    ``priority`` / ``slo_ttft_s`` default when absent, so traces written
-    before those fields existed still load.
+    ``priority`` / ``slo_ttft_s`` and the session/prefix fields default
+    when absent, so traces written before those fields existed still
+    load.
     """
     return [
         Request(
@@ -372,6 +574,12 @@ def rows_to_trace(rows: Sequence[dict]) -> List[Request]:
             gen_tokens=int(row["gen_tokens"]),
             priority=int(row.get("priority", 0)),
             slo_ttft_s=float(row.get("slo_ttft_s", 0.0)),
+            session_id=int(row.get("session_id", -1)),
+            turn=int(row.get("turn", 0)),
+            shared_prefix_id=int(row.get("shared_prefix_id", -1)),
+            shared_prefix_tokens=int(row.get("shared_prefix_tokens", 0)),
+            context_tokens=int(row.get("context_tokens", 0)),
+            final_turn=bool(row.get("final_turn", True)),
         )
         for row in rows
     ]

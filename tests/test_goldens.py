@@ -3,10 +3,13 @@
 Small JSON goldens are checked in under ``tests/goldens/``:
 
 * ``sweep_latency_table.json`` — the latency table of a tiny two-scheme
-  sweep, and
+  sweep,
 * ``serving_<policy>.json`` — the flat serving summary of one fixed-seed
   bursty trace per scheduling policy (the KV-starved deployment, so the
-  ``priority`` golden pins preemption counters too).
+  ``priority`` golden pins preemption counters too), and
+* ``serving_conversational_<policy>.json`` — the summary of a fixed-seed
+  conversational session trace with the KV prefix cache enabled, so the
+  hit-rate, dedup and eviction counters are pinned per policy.
 
 Any change to kernel costs, the energy model, trace generation or
 scheduler behavior shifts these numbers; the diff shows up in the PR
@@ -72,6 +75,28 @@ def _serving_config(policy: str, engine: str = "event") -> ServingConfig:
                          engine=engine)
 
 
+# A conversational session trace with shared system prompts; lengths
+# and turns are capped so the deepest carried context stays inside the
+# cost model's per-bank working set.
+CONV_TRACE_SPEC = TraceSpec(
+    num_requests=24, seed=7, scenario="conversational",
+    arrival_rate_per_s=0.02,
+    prompt_mean=48.0, prompt_sigma=0.8, prompt_max=128,
+    gen_mean=24.0, gen_max=64,
+    priority_weights=(0.3, 0.7), slo_ttft_s=(50.0, 500.0),
+    sessions=8, turns_mean=3.0, turns_max=4, think_time_mean_s=5.0,
+    system_prompt_pool=2, system_prompt_tokens=48,
+)
+
+
+def _conv_config(policy: str, engine: str = "event") -> ServingConfig:
+    """KV-starved single rank with the prefix cache on: the goldens pin
+    cache hits, LRU evictions and (for ``priority``) preemption."""
+    return ServingConfig(model="gpt-125m", num_ranks=1, dpus_per_rank=1,
+                         max_batch=8, policy=policy, prefill_chunk_tokens=16,
+                         engine=engine, prefix_cache=True)
+
+
 def _rounded(value, digits: int = 10):
     """Round every float in a nested JSON-ish structure to ``digits``
     significant digits (ints and other scalars pass through)."""
@@ -91,6 +116,12 @@ def _build_sweep_golden():
 def _build_serving_golden(policy: str, engine: str = "event"):
     trace = generate_trace(TRACE_SPEC)
     config = _serving_config(policy, engine)
+    return _rounded(summary(simulate_trace(trace, config)))
+
+
+def _build_conversational_golden(policy: str, engine: str = "event"):
+    trace = generate_trace(CONV_TRACE_SPEC)
+    config = _conv_config(policy, engine)
     return _rounded(summary(simulate_trace(trace, config)))
 
 
@@ -131,6 +162,35 @@ def test_loop_engine_reproduces_event_golden(policy):
     assert loop == golden
 
 
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_conversational_summary_matches_golden(policy):
+    assert _build_conversational_golden(policy) == _load(
+        f"serving_conversational_{policy}.json"
+    )
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_loop_engine_reproduces_conversational_golden(policy):
+    golden = dict(_load(f"serving_conversational_{policy}.json"))
+    loop = dict(_build_conversational_golden(policy, engine="loop"))
+    assert loop.pop("engine") == "loop"
+    assert golden.pop("engine") == "event"
+    assert loop == golden
+
+
+def test_conversational_goldens_pin_cache_behavior():
+    """The checked-in fixtures themselves prove the cache works: hits
+    dominate, dedup saves real bytes, and eviction actually fired."""
+    summaries = {
+        p: _load(f"serving_conversational_{p}.json") for p in ALL_POLICIES
+    }
+    for policy, flat in summaries.items():
+        assert flat["prefix_cache"] is True, policy
+        assert flat["cache_hit_rate"] > 0.5, policy
+        assert flat["kv_dedup_factor"] > 1.0, policy
+        assert flat["cache_evictions"] > 0, policy
+
+
 def test_goldens_pin_distinct_policies():
     """The checked-in fixtures themselves prove the policies diverge."""
     summaries = {p: _load(f"serving_{p}.json") for p in ALL_POLICIES}
@@ -143,6 +203,9 @@ def _update() -> None:
     goldens = {"sweep_latency_table.json": _build_sweep_golden()}
     for policy in ALL_POLICIES:
         goldens[f"serving_{policy}.json"] = _build_serving_golden(policy)
+        goldens[f"serving_conversational_{policy}.json"] = (
+            _build_conversational_golden(policy)
+        )
     for name, payload in goldens.items():
         with open(_golden_path(name), "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)

@@ -75,6 +75,11 @@ def test_cli_rejects_nonsensical_numeric_inputs(capsys):
         (["--seed", "-1"], "--seed"),
         (["--tiers", "0"], "--tiers"),
         (["--workers", "0"], "--workers"),
+        (["--sessions", "0"], "--sessions"),
+        (["--turns", "0.5"], "--turns"),
+        (["--think-time", "-1"], "--think-time"),
+        (["--prompt-pool", "-1"], "--prompt-pool"),
+        (["--system-prompt-tokens", "-1"], "--system-prompt-tokens"),
     ]
     for flags, name in cases:
         assert main(["--model", "gpt-125m", "--quiet"] + flags) == 2, flags
@@ -147,6 +152,36 @@ def test_cli_policy_and_scenario_run(tmp_path):
     assert payload["summary"]["policy"] == "chunked_prefill"
     assert payload["trace_spec"]["scenario"] == "diurnal"
     assert payload["summary"]["completed"] == 6
+
+
+def test_cli_conversational_prefix_cache_run(tmp_path):
+    """The conversational scenario plus ``--prefix-cache`` wires through
+    to the spec, the config and the cache counters in the payload."""
+    out = str(tmp_path / "conv.json")
+    code = main(["--model", "gpt-125m", "--requests", "24", "--ranks", "1",
+                 "--scenario", "conversational", "--prefix-cache",
+                 "--sessions", "6", "--turns", "4", "--think-time", "5",
+                 "--prompt-pool", "2", "--system-prompt-tokens", "48",
+                 "--prompt-mean", "32", "--prompt-max", "128",
+                 "--gen-mean", "16", "--gen-max", "64",
+                 "--arrival-rate", "0.05", "--quiet", "--output", out])
+    assert code == 0
+    payload = read_json(out)
+    spec = payload["trace_spec"]
+    assert spec["scenario"] == "conversational"
+    assert spec["sessions"] == 6
+    assert spec["turns_mean"] == 4.0
+    assert spec["think_time_mean_s"] == 5.0
+    assert spec["system_prompt_pool"] == 2
+    assert spec["system_prompt_tokens"] == 48
+    flat = payload["summary"]
+    assert flat["prefix_cache"] is True
+    assert flat["cache_hits"] > 0
+    assert flat["cache_hit_rate"] > 0.0
+    assert flat["kv_dedup_factor"] >= 1.0
+    # Session structure survives into the trace and request rows.
+    assert any(r["session_id"] >= 0 for r in payload["trace"])
+    assert any(r["cache_hit"] for r in payload["requests"])
 
 
 def test_cli_compare_emits_policy_table(tmp_path, capsys):

@@ -73,6 +73,10 @@ def _assert_equivalent(trace, config):
         assert ev.rank == lp.rank
         assert ev.status == lp.status
         assert ev.preemptions == lp.preemptions
+        assert ev.session_id == lp.session_id
+        assert ev.turn == lp.turn
+        assert ev.cache_hit == lp.cache_hit
+        assert ev.cached_tokens == lp.cached_tokens
         # Timestamps agree to float-summation rounding.
         for field in ("admit_s", "first_token_s", "finish_s"):
             a, b = getattr(ev, field), getattr(lp, field)
@@ -93,6 +97,13 @@ def _assert_equivalent(trace, config):
         assert rs_ev.requeues == rs_lp.requeues
         assert rs_ev.recompute_tokens == rs_lp.recompute_tokens
         assert rs_ev.kv_peak_bytes == rs_lp.kv_peak_bytes
+        assert rs_ev.cache_hits == rs_lp.cache_hits
+        assert rs_ev.cache_misses == rs_lp.cache_misses
+        assert rs_ev.cache_evictions == rs_lp.cache_evictions
+        assert rs_ev.cache_hit_tokens == rs_lp.cache_hit_tokens
+        assert rs_ev.kv_logical_bytes == rs_lp.kv_logical_bytes
+        assert rs_ev.kv_reserved_bytes == rs_lp.kv_reserved_bytes
+        assert rs_ev.kv_final_bytes == rs_lp.kv_final_bytes
         assert rs_ev.finish_s == pytest.approx(rs_lp.finish_s, rel=1e-9)
         assert rs_ev.busy_s == pytest.approx(rs_lp.busy_s, rel=1e-9)
         assert rs_ev.energy_j == pytest.approx(rs_lp.energy_j, rel=1e-9)
@@ -162,6 +173,76 @@ def test_arrival_mid_segment_admitted_at_same_boundary():
     late = next(r for r in event.records if r.req_id == 1)
     assert late.admit_s >= midpoint  # joined mid-decode, not at the end
     assert late.finish_s < event.makespan_s or late.finish_s == event.makespan_s
+
+
+# ---------------------------------------------------------------------------
+# prefix-cache differential oracle
+# ---------------------------------------------------------------------------
+
+def _conv_spec(seed: int) -> TraceSpec:
+    """A small conversational session trace with shared system prompts."""
+    return TraceSpec(
+        num_requests=24,
+        arrival_rate_per_s=0.05,
+        scenario="conversational",
+        prompt_mean=48.0,
+        prompt_sigma=0.8,
+        prompt_max=192,
+        gen_mean=24.0,
+        gen_max=96,
+        sessions=8,
+        turns_mean=3.0,
+        turns_max=5,
+        think_time_mean_s=5.0,
+        system_prompt_pool=2,
+        system_prompt_tokens=48,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_prefix_cache_differential_oracle(policy):
+    """Cache-on vs cache-off, per engine: the exact same request set
+    completes (the cache must never change which requests are
+    servable), TTFT never gets worse, and the two engines stay
+    metric-identical with the cache enabled.
+
+    The TTFT oracle is the aggregate — total TTFT over the completed
+    set must not increase for any (engine, seed) run.  It is *not*
+    per-request: a hit frees batch slots and KV earlier, so neighbours
+    admit sooner, the decode batch runs wider (slower per iteration),
+    and under reordering policies a different request may take the
+    freed slot — an individual request can legitimately see a later
+    first token even though every run's total strictly improves.
+    """
+    hits = 0
+    for seed in SEEDS:
+        trace = generate_trace(_conv_spec(seed))
+        config = ServingConfig(model="gpt-125m", num_ranks=2,
+                               dpus_per_rank=16, max_batch=8, policy=policy,
+                               prefill_chunk_tokens=16)
+        for engine in ENGINES:
+            cfg = dataclasses.replace(config, engine=engine)
+            off = simulate_trace(trace, cfg)
+            on = simulate_trace(
+                trace, dataclasses.replace(cfg, prefix_cache=True)
+            )
+            ttft_on = ttft_off = 0.0
+            for rec_on, rec_off in zip(on.records, off.records):
+                assert rec_on.req_id == rec_off.req_id
+                assert rec_on.status == rec_off.status
+                if rec_on.status != "completed":
+                    continue
+                ttft_on += rec_on.ttft_s
+                ttft_off += rec_off.ttft_s
+            assert ttft_on <= ttft_off + 1e-9, (policy, engine, seed)
+            hits += on.cache_hits
+        _assert_equivalent(
+            trace, dataclasses.replace(config, prefix_cache=True)
+        )
+    # The corpus must actually exercise the cache, or the oracle above
+    # proves nothing.
+    assert hits > 0
 
 
 # ---------------------------------------------------------------------------

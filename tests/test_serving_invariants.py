@@ -18,7 +18,16 @@ invariants every policy must preserve:
   requests' generation lengths, preemption counters agree between
   per-request records and per-rank stats, and energy/busy time are
   non-negative.
+* **Token conservation with the prefix cache** — prefill work plus
+  tokens resumed from cached prefixes equals the completed prompt
+  tokens plus preemption recompute, so cache hits are real work saved,
+  not work miscounted.
+* **Cache audit at drain** — every refcount is zero once the queue
+  drains, and each rank's final KV occupancy is exactly the bytes the
+  retained cache entries own (nothing leaked, nothing double-counted).
 """
+
+import dataclasses
 
 import pytest
 
@@ -124,7 +133,12 @@ def _check_invariants(trace, result):
     assert result.output_tokens == sum(r.gen_tokens for r in completed)
     assert result.preemptions == sum(r.preemptions for r in records)
     recomputed = sum(rs.recompute_tokens for rs in result.rank_stats)
-    assert result.prefill_tokens == (
+    cache_hit_tokens = sum(rs.cache_hit_tokens for rs in result.rank_stats)
+    # Token conservation, generalized for the prefix cache: prefill
+    # work plus tokens resumed from cached prefixes must account for
+    # every completed prompt and every preemption recompute.  With the
+    # cache off, cache_hit_tokens is zero and this is the original law.
+    assert result.prefill_tokens + cache_hit_tokens == (
         sum(r.prompt_tokens for r in completed) + recomputed
     )
 
@@ -151,3 +165,148 @@ def test_determinism_per_policy(policy):
     b = simulate_trace(trace, _config(policy, 3))
     assert a.records == b.records
     assert a.rank_stats == b.rank_stats
+
+
+# ---------------------------------------------------------------------------
+# prefix-cache invariants (conversational traces)
+# ---------------------------------------------------------------------------
+
+def _conv_spec(seed: int) -> TraceSpec:
+    """A conversational session trace with shared system prompts.
+
+    Lengths and ``turns_max`` are capped so the deepest context
+    carry-over (shared + 4 earlier turns + last user prompt, at most
+    64 + 4*(256+128) + 256 = 1856 tokens) stays inside the cost model's
+    per-bank working set for any single prefill.
+    """
+    return TraceSpec(
+        num_requests=20 + (seed % 3) * 8,
+        arrival_rate_per_s=0.02 + 0.01 * (seed % 4),
+        scenario="conversational",
+        prompt_mean=64.0,
+        prompt_sigma=0.8,
+        prompt_max=256,
+        gen_mean=32.0,
+        gen_max=128,
+        priority_weights=(0.3, 0.7),
+        slo_ttft_s=(50.0, 500.0),
+        sessions=8 + seed % 4,
+        turns_mean=3.0 + (seed % 3),
+        turns_max=5,
+        think_time_mean_s=5.0,
+        system_prompt_pool=2,
+        system_prompt_tokens=64,
+        seed=seed,
+    )
+
+
+def _conv_config(policy: str, seed: int) -> ServingConfig:
+    """Deployments for conversational traces.
+
+    Context carry-over grows prompts beyond the single-DPU MRAM working
+    set, so the starved arm here keeps a few DPUs per rank and squeezes
+    via batch width instead.
+    """
+    if seed % 2:
+        return ServingConfig(model="gpt-125m", num_ranks=1, dpus_per_rank=8,
+                             max_batch=8, policy=policy,
+                             prefill_chunk_tokens=16)
+    return ServingConfig(model="gpt-125m", num_ranks=2, dpus_per_rank=16,
+                         max_batch=8, policy=policy, prefill_chunk_tokens=16)
+
+
+def _check_cache_audit(result):
+    """Drain-time cache audit: no leaked references, no double-count.
+
+    Each rank's final KV occupancy must be exactly the bytes its
+    retained cache entries own — shared prefixes count once against
+    MRAM, and every request released its reference.
+    """
+    assert len(result.prefix_caches) == len(result.rank_stats)
+    for rs, cache in zip(result.rank_stats, result.prefix_caches):
+        assert cache.refcount_total() == 0
+        owned = sum(e.owned_bytes for e in cache.entries())
+        assert owned == cache.total_bytes
+        assert rs.kv_final_bytes == cache.total_bytes
+        assert rs.kv_final_bytes <= result.kv_capacity_bytes
+
+
+def _session_token_conservation(trace, result):
+    """Per-session token accounting: every turn of a completed session
+    carries forward exactly the prior turns' prompt+generation context."""
+    by_id = {t.req_id: t for t in trace}
+    sessions = {}
+    for req in trace:
+        if req.session_id >= 0:
+            sessions.setdefault(req.session_id, []).append(req)
+    for sid, turns in sessions.items():
+        turns.sort(key=lambda r: r.turn)
+        assert [r.turn for r in turns] == list(range(len(turns)))
+        assert sum(r.final_turn for r in turns) == 1 and turns[-1].final_turn
+        shared = turns[0].shared_prefix_tokens
+        context = 0
+        for req in turns:
+            assert req.shared_prefix_tokens == shared  # stable per session
+            assert req.context_tokens == context
+            user = req.prompt_tokens - shared - context
+            assert user >= 1  # every turn contributes fresh user tokens
+            context += user + req.gen_tokens
+    return by_id
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_prefix_cache_invariants_conversational(policy):
+    """All core invariants plus the cache audit, with hits provably
+    occurring somewhere in the corpus."""
+    hits = 0
+    for seed in SEEDS:
+        trace = generate_trace(_conv_spec(seed))
+        config = dataclasses.replace(
+            _conv_config(policy, seed), prefix_cache=True
+        )
+        result = simulate_trace(trace, config)
+        _check_invariants(trace, result)
+        _check_cache_audit(result)
+        _session_token_conservation(trace, result)
+        for rec in result.records:
+            if rec.session_id >= 0:
+                assert rec.rank == rec.session_id % config.num_ranks
+            if rec.cache_hit:
+                assert rec.cached_tokens > 0
+                assert rec.status == "completed"
+        hits += result.cache_hits
+    assert hits > 0
+
+
+def test_cache_off_engine_state_is_empty():
+    """With the cache disabled there is no cache object and the ranks
+    drain to zero KV occupancy."""
+    trace = generate_trace(_conv_spec(0))
+    result = simulate_trace(trace, _conv_config("fcfs", 0))
+    assert result.prefix_caches == ()
+    assert result.cache_hits == result.cache_misses == 0
+    assert result.cache_evictions == 0
+    for rs in result.rank_stats:
+        assert rs.kv_final_bytes == 0
+        assert rs.cache_hit_tokens == 0
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_cache_on_single_shot_matches_cache_off(policy):
+    """On a session-free trace the cache is inert: enabling it changes
+    no scheduling decision, timestamp or counter (the miss counter is
+    the one observability-only difference)."""
+    for seed in (0, 1, 2):  # steady / bursty / diurnal — no sessions
+        trace = generate_trace(_spec(seed))
+        assert all(r.session_id < 0 for r in trace)
+        base = _config(policy, seed)
+        off = simulate_trace(trace, base)
+        on = simulate_trace(
+            trace, dataclasses.replace(base, prefix_cache=True)
+        )
+        assert on.records == off.records
+        for rs_on, rs_off in zip(on.rank_stats, off.rank_stats):
+            assert rs_on.cache_hits == 0
+            assert dataclasses.replace(rs_on, cache_misses=0) == rs_off
+        for cache in on.prefix_caches:
+            assert cache.total_bytes == 0

@@ -119,3 +119,96 @@ def test_metrics_table_healthy_run_unchanged():
     assert row["energy_mj_per_token"] == pytest.approx(
         1e3 * result.total_energy_j / result.output_tokens
     )
+
+
+# ---------------------------------------------------------------------------
+# prefix-cache counters: TTFT split and type-faithful round-trips
+# ---------------------------------------------------------------------------
+
+def _cached_result():
+    trace = generate_trace(TraceSpec(
+        num_requests=20, seed=3, scenario="conversational",
+        arrival_rate_per_s=0.05,
+        prompt_mean=48.0, prompt_sigma=0.8, prompt_max=128,
+        gen_mean=24.0, gen_max=64,
+        sessions=6, turns_mean=3.0, turns_max=4, think_time_mean_s=5.0,
+        system_prompt_pool=2, system_prompt_tokens=48,
+    ))
+    return simulate_trace(trace, ServingConfig(
+        model="gpt-125m", num_ranks=2, dpus_per_rank=8, max_batch=8,
+        prefix_cache=True,
+    ))
+
+
+def test_serving_table_splits_ttft_by_cache_hit():
+    """``ttft_hit_*`` / ``ttft_miss_*`` partition the completed set, and
+    the row counts agree with the hit flags."""
+    result = _cached_result()
+    rows = record_rows(result)
+    hits = [r for r in rows if r["status"] == "completed" and r["cache_hit"]]
+    assert hits  # the fixture must exercise the split
+    table = serving_table(rows)
+    row = table[0]
+    assert row["cache_hit_requests"] == len(hits)
+    assert row["ttft_hit_p50_s"] > 0
+    assert row["ttft_miss_p50_s"] > 0
+    assert row["ttft_hit_p50_s"] <= row["ttft_hit_p95_s"]
+    assert row["ttft_miss_p50_s"] <= row["ttft_miss_p95_s"]
+
+
+def test_cache_record_rows_round_trip_csv_type_faithful(tmp_path):
+    """The new per-request columns survive write/read exactly:
+    ``cache_hit`` stays a bool (not the string "True"), the session and
+    token counters stay ints."""
+    rows = record_rows(_cached_result())
+    path = str(tmp_path / "records.csv")
+    write_csv(path, rows)
+    back = read_csv(path)
+    assert back == rows
+    hit = next(r for r in back if r["cache_hit"])
+    assert hit["cache_hit"] is True
+    assert isinstance(hit["cached_tokens"], int) and hit["cached_tokens"] > 0
+    assert isinstance(hit["session_id"], int)
+    assert isinstance(hit["turn"], int)
+
+
+def test_cache_metrics_table_round_trips_csv(tmp_path):
+    """Aggregate cache counters (ints) and ratios (floats) round-trip
+    through the CSV writer for the ``all`` row and every rank row."""
+    table = metrics_table(_cached_result())
+    path = str(tmp_path / "metrics.csv")
+    write_csv(path, table)
+    back = read_csv(path)
+    assert back == table
+    for row in back:
+        assert isinstance(row["cache_hits"], int)
+        assert isinstance(row["cache_misses"], int)
+        assert isinstance(row["cache_evictions"], int)
+        assert isinstance(row["cache_hit_rate"], float)
+        assert isinstance(row["kv_dedup_factor"], float)
+    assert back[0]["cache_hit_rate"] > 0.0
+    assert back[0]["kv_dedup_factor"] > 1.0
+
+
+def test_cache_timeline_rows_round_trip_csv(tmp_path):
+    """``cache_hit`` / ``cache_evict`` events flatten into timeline rows
+    whose ``key`` column stays a string through the CSV round-trip (it
+    is in the io string-column allowlist)."""
+    from repro.obs import RecordingTracer, timeline_rows
+    from test_serving_prefix_cache import _fuzz_spec, _starved_config
+
+    trace = generate_trace(_fuzz_spec(0))
+    tracer = RecordingTracer("full")
+    simulate_trace(trace, _starved_config(), tracer=tracer)
+    rows = timeline_rows(tracer.events)
+    kinds = {r["event"] for r in rows}
+    assert {"cache_hit", "cache_evict"} <= kinds
+    path = str(tmp_path / "timeline.csv")
+    write_csv(path, rows)
+    back = read_csv(path)
+    evict = next(r for r in back if r["event"] == "cache_evict")
+    assert isinstance(evict["key"], str) and ":" in evict["key"]
+    assert isinstance(evict["depth_tokens"], int)
+    hit = next(r for r in back if r["event"] == "cache_hit")
+    assert isinstance(hit["cached_tokens"], int)
+    assert isinstance(hit["kv_saved_bytes"], int)

@@ -77,7 +77,7 @@ def test_rows_without_priority_fields_still_load():
 
 def test_all_scenarios_deterministic_sorted_and_positive():
     from repro.serving import SCENARIOS
-    assert SCENARIOS == ("steady", "bursty", "diurnal")
+    assert SCENARIOS == ("steady", "bursty", "diurnal", "conversational")
     for scenario in SCENARIOS:
         spec = TraceSpec(num_requests=64, scenario=scenario, seed=11)
         trace = generate_trace(spec)

@@ -44,6 +44,8 @@ ENGINE_REQUESTS = 1000
 ENGINE_SPEEDUP_FLOOR = 10.0
 SCALING_REQUESTS = 100_000
 SCALING_BUDGET_S = 180.0
+CACHE_REQUESTS = 2000
+CACHE_HIT_RATE_FLOOR = 0.5
 OBS_TRACED_REQUESTS = 20_000
 # The tracing-disabled hot path is intended to cost a few percent at
 # most; the gate leaves headroom for shared-runner wall-clock noise.
@@ -251,6 +253,58 @@ def bench_observability(scaling_wall_s: float) -> dict:
     }
 
 
+def bench_prefix_cache() -> dict:
+    """KV prefix cache on vs off over a conversational session trace.
+
+    Many multi-turn sessions share a small system-prompt pool and carry
+    their context forward, so most admissions can resume from a cached
+    prefix.  Both runs serve the identical trace; the cache run must
+    complete the same request set with a no-worse p95 TTFT, and the
+    hit-rate/dedup numbers quantify how much prefill work and MRAM the
+    shared prefixes saved.
+    """
+    import dataclasses
+
+    from repro.serving import ServingConfig, TraceSpec, generate_trace, simulate_trace, summary
+
+    spec = TraceSpec(
+        num_requests=CACHE_REQUESTS, seed=0, scenario="conversational",
+        arrival_rate_per_s=4.0,
+        prompt_mean=64.0, prompt_sigma=0.8, prompt_max=128,
+        gen_mean=32.0, gen_max=64,
+        sessions=320, turns_mean=7.0, turns_max=8, think_time_mean_s=20.0,
+        system_prompt_pool=8, system_prompt_tokens=128,
+    )
+    trace, trace_wall = _timed(lambda: generate_trace(spec))
+    config = ServingConfig(model="gpt-350m", num_ranks=4, max_batch=16)
+    off_result, off_wall = _timed(lambda: simulate_trace(trace, config))
+    on_result, on_wall = _timed(lambda: simulate_trace(
+        trace, dataclasses.replace(config, prefix_cache=True)
+    ))
+    on, off = summary(on_result), summary(off_result)
+    return {
+        "requests": CACHE_REQUESTS,
+        "sessions": spec.sessions,
+        "trace_wall_s": trace_wall,
+        "off_wall_s": off_wall,
+        "on_wall_s": on_wall,
+        "completed_off": off["completed"],
+        "completed_on": on["completed"],
+        "cache_hit_rate": on["cache_hit_rate"],
+        "cache_hit_rate_floor": CACHE_HIT_RATE_FLOOR,
+        "cache_hit_tokens": on["cache_hit_tokens"],
+        "cache_evictions": on["cache_evictions"],
+        "kv_dedup_factor": on["kv_dedup_factor"],
+        "ttft_p50_off_s": off["ttft_p50_s"],
+        "ttft_p50_on_s": on["ttft_p50_s"],
+        "ttft_p95_off_s": off["ttft_p95_s"],
+        "ttft_p95_on_s": on["ttft_p95_s"],
+        "ttft_p95_speedup": (
+            off["ttft_p95_s"] / on["ttft_p95_s"] if on["ttft_p95_s"] else 0.0
+        ),
+    }
+
+
 def bench_policies() -> dict:
     """All scheduling policies on one bursty long-prefill trace.
 
@@ -316,6 +370,7 @@ def main(argv=None) -> int:
         "scaling": scaling_entry,
         "observability": bench_observability(scaling_entry["wall_s"]),
         "policies": bench_policies(),
+        "prefix_cache": bench_prefix_cache(),
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -327,6 +382,7 @@ def main(argv=None) -> int:
     scaling = payload["scaling"]
     obs = payload["observability"]
     policies = payload["policies"]
+    cache = payload["prefix_cache"]
     print(f"sweep: {payload['sweep']['wall_s']:.3f} s "
           f"({payload['sweep']['grid_points']} point(s))")
     print(f"decode closed-form: {decode['closed_form_wall_s']*1e3:.1f} ms "
@@ -346,6 +402,10 @@ def main(argv=None) -> int:
           f"({obs['traced_events']} events)")
     print(f"policies ({policies['scenario']} long-prefill): chunked_prefill "
           f"p95 TTFT {policies['chunked_vs_fcfs_ttft_p95_speedup']:.3f}x vs fcfs")
+    print(f"prefix cache: hit rate {cache['cache_hit_rate']:.3f}, dedup "
+          f"{cache['kv_dedup_factor']:.2f}x, p95 TTFT "
+          f"{cache['ttft_p95_speedup']:.3f}x vs cache-off at "
+          f"{cache['requests']} conversational requests")
     print(f"wrote {args.output}")
 
     if args.check:
@@ -401,6 +461,29 @@ def main(argv=None) -> int:
                 f"FAIL: chunked_prefill dropped "
                 f"{-policies['chunked_completed_delta']} completed request(s) "
                 f"vs fcfs",
+                file=sys.stderr,
+            )
+            return 1
+        if cache["cache_hit_rate"] < CACHE_HIT_RATE_FLOOR:
+            print(
+                f"FAIL: prefix-cache hit rate {cache['cache_hit_rate']:.3f} "
+                f"is below the {CACHE_HIT_RATE_FLOOR} floor on the "
+                f"conversational trace",
+                file=sys.stderr,
+            )
+            return 1
+        if cache["ttft_p95_on_s"] > cache["ttft_p95_off_s"] + 1e-9:
+            print(
+                f"FAIL: prefix cache worsened p95 TTFT "
+                f"({cache['ttft_p95_on_s']:.3f} s on vs "
+                f"{cache['ttft_p95_off_s']:.3f} s off)",
+                file=sys.stderr,
+            )
+            return 1
+        if cache["completed_on"] != cache["completed_off"]:
+            print(
+                f"FAIL: prefix cache changed the completed set "
+                f"({cache['completed_on']} on vs {cache['completed_off']} off)",
                 file=sys.stderr,
             )
             return 1
