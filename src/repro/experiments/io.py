@@ -49,7 +49,8 @@ __all__ = [
 #: drivers.  Everything else is treated as a numeric/boolean column.
 DEFAULT_STRING_COLUMNS: FrozenSet[str] = frozenset(
     {"model", "scheme", "kernel", "status", "error", "phase", "scope",
-     "policy", "scenario", "engine", "event", "series", "key"}
+     "policy", "scenario", "engine", "event", "series", "key",
+     "deployment", "router", "action"}
 )
 
 _INT_RE = re.compile(r"[+-]?\d+")

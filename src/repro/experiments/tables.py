@@ -18,7 +18,10 @@ renderer :func:`format_table`:
   figure table),
 * :func:`policy_table` — one row per scheduling-policy run over the
   same trace, with each policy's p95 TTFT normalised against the FCFS
-  baseline (the latency/throughput-frontier comparison).
+  baseline (the latency/throughput-frontier comparison),
+* :func:`cluster_table` — per-deployment rows of a cluster run topped
+  with an aggregate ``cluster`` row (the multi-deployment serving
+  comparison from :mod:`repro.serving.cluster`).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ __all__ = [
     "ablation_table",
     "serving_table",
     "policy_table",
+    "cluster_table",
     "format_table",
     "percentile",
     "safe_ratio",
@@ -273,6 +277,60 @@ def policy_table(summary_rows: Sequence[dict]) -> List[dict]:
                 entry[key] = row[key]
         baseline = fcfs_p95.get(row.get("scenario"), 0.0)
         entry["ttft_p95_vs_fcfs"] = safe_ratio(baseline, row.get("ttft_p95_s", 0.0))
+        table.append(entry)
+    return table
+
+
+#: Deployment-row keys summed into the aggregate ``cluster`` row.
+_CLUSTER_SUM_KEYS = (
+    "replicas", "replicas_peak", "routed", "requests", "completed",
+    "rejected", "preemptions", "output_tokens", "energy_j",
+    "scale_ups", "scale_downs",
+)
+
+#: Deployment-row keys copied verbatim into the per-deployment rows.
+_CLUSTER_ROW_KEYS = (
+    "model", "scheme", "tier", "replicas", "replicas_peak", "routed",
+    "requests", "completed", "rejected", "preemptions",
+    "slo_attainment", "ttft_p50_s", "ttft_p95_s", "tpot_mean_s",
+    "latency_p95_s", "output_tokens", "output_tokens_per_s",
+    "energy_j", "energy_mj_per_token", "utilization", "makespan_s",
+    "scale_ups", "scale_downs",
+)
+
+
+def cluster_table(deployment_rows: Sequence[dict]) -> List[dict]:
+    """Aggregate per-deployment cluster rows into the cluster table.
+
+    ``deployment_rows`` are flat per-deployment summaries (as produced
+    by :func:`repro.serving.metrics.cluster_rows`, each carrying a
+    ``deployment`` key plus the headline serving metrics and replica /
+    scale counters).  Returns one ``deployment="cluster"`` total row —
+    counters summed, makespan the max, the throughput and energy rates
+    re-derived from the summed counters (per-deployment percentiles do
+    not aggregate and are left blank there) — followed by one row per
+    deployment with its ``routed_share`` of the cluster's traffic.
+    """
+    if not deployment_rows:
+        return []
+    total: Dict[str, object] = {"deployment": "cluster"}
+    for key in _CLUSTER_SUM_KEYS:
+        total[key] = sum(r.get(key, 0) for r in deployment_rows)
+    makespan = max(r.get("makespan_s", 0.0) for r in deployment_rows)
+    total["makespan_s"] = makespan
+    total["routed_share"] = 1.0
+    total["output_tokens_per_s"] = safe_ratio(total["output_tokens"], makespan)
+    total["energy_mj_per_token"] = safe_ratio(
+        1e3 * total["energy_j"], total["output_tokens"]
+    )
+    total_routed = total["routed"]
+    table = [total]
+    for row in deployment_rows:
+        entry = {"deployment": row.get("deployment", "")}
+        for key in _CLUSTER_ROW_KEYS:
+            if key in row:
+                entry[key] = row[key]
+        entry["routed_share"] = safe_ratio(row.get("routed", 0), total_routed)
         table.append(entry)
     return table
 

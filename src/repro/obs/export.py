@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.io import write_csv, write_json
 from repro.obs.registry import MetricsRegistry
-from repro.obs.tracer import RecordingTracer, TraceEvent
+from repro.obs.tracer import CLUSTER_KINDS, RecordingTracer, TraceEvent
 
 __all__ = [
     "chrome_trace",
@@ -94,8 +94,13 @@ def chrome_trace(events: Sequence[TraceEvent],
     trace: List[dict] = []
     ranks = sorted({e.rank for e in events})
     for rank in ranks:
-        trace.append(_metadata("process_name", rank, 0, f"rank {rank}"))
-        trace.append(_metadata("thread_name", rank, 0, "engine"))
+        # Rank -1 is the synthetic cluster lane (routing + autoscaling).
+        if rank < 0:
+            trace.append(_metadata("process_name", rank, 0, "cluster"))
+            trace.append(_metadata("thread_name", rank, 0, "router"))
+        else:
+            trace.append(_metadata("process_name", rank, 0, f"rank {rank}"))
+            trace.append(_metadata("thread_name", rank, 0, "engine"))
 
     # Per-request reconstruction state: open queue span, open run span,
     # open prefill chunk.
@@ -105,6 +110,14 @@ def chrome_trace(events: Sequence[TraceEvent],
     named: set = set()
     for event in events:
         rank, req_id, t, data = event.rank, event.req_id, event.t_s, event.data
+        if event.kind in CLUSTER_KINDS:
+            # Cluster-lane instants: all on the router thread, so a
+            # million routed requests don't fan out into request threads.
+            args = dict(data)
+            if req_id is not None:
+                args["req_id"] = req_id
+            trace.append(_instant(event.kind, rank, 0, t, args))
+            continue
         tid = 0 if req_id is None else req_id + 1
         if req_id is not None and req_id not in named:
             named.add(req_id)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.obs.tracer import TraceEvent
+from repro.obs.tracer import CLUSTER_KINDS, TraceEvent
 from repro.serving.scheduler import (
     RankStats,
     RequestRecord,
@@ -67,6 +67,10 @@ def replay_result(
 
     for event in events:
         kind, t, rank, data = event.kind, event.t_s, event.rank, event.data
+        if kind in CLUSTER_KINDS:
+            # Cluster-lane events (rank -1) carry no per-rank engine
+            # state; the single-deployment oracle ignores them.
+            continue
         rs = rank_stats(rank)
         if kind != "arrive":
             finish[rank] = max(finish.get(rank, 0.0), t)

@@ -56,13 +56,25 @@ from repro.obs.registry import MetricsRegistry
 __all__ = [
     "EVENT_KINDS",
     "LIFECYCLE_KINDS",
+    "CLUSTER_KINDS",
     "TRACE_LEVELS",
     "TraceEvent",
     "Tracer",
     "RecordingTracer",
 ]
 
-#: Every event kind a rank engine can emit.
+#: Cluster-scoped kinds emitted by :mod:`repro.serving.cluster` (not by
+#: rank engines): routing decisions and autoscaler actions.  They carry
+#: ``rank = -1`` — the synthetic "cluster" lane — and are ignored by the
+#: single-deployment replay oracle.
+CLUSTER_KINDS = (
+    "route",
+    "scale_up",
+    "scale_down",
+)
+
+#: Every event kind a rank engine — or the cluster layer above it — can
+#: emit.
 EVENT_KINDS = (
     "arrive",
     "admit",
@@ -76,14 +88,16 @@ EVENT_KINDS = (
     "cache_evict",
     "decode_segment",
     "finish",
-)
+) + CLUSTER_KINDS
 
 #: Request-scoped kinds, identical across engines (``decode_segment`` is
 #: engine-granularity: per token for the loop, per segment for the event
 #: engine; ``cache_evict`` is rank-scoped — it names a cache entry, not
-#: a request — though likewise engine-independent).
+#: a request — though likewise engine-independent; the cluster kinds are
+#: not engine events at all).
 LIFECYCLE_KINDS = tuple(
-    k for k in EVENT_KINDS if k not in ("decode_segment", "cache_evict")
+    k for k in EVENT_KINDS
+    if k not in ("decode_segment", "cache_evict") + CLUSTER_KINDS
 )
 
 #: Recording levels: ``lifecycle`` keeps request-scoped events only;
@@ -186,6 +200,17 @@ class Tracer:
     def sample(self, t_s: float, rank: int, kv_used_bytes: int, batch: int,
                queue_depth: int) -> None:
         """Periodic rank snapshot: KV occupancy, batch size, queue depth."""
+
+    def route(self, t_s: float, deployment: str, req_id: int,
+              router: str) -> None:
+        """The cluster router assigned a request to a deployment."""
+
+    def scale_up(self, t_s: float, deployment: str, replicas: int,
+                 cold_start_s: float, weight_bytes: int) -> None:
+        """The autoscaler added a replica (usable after ``cold_start_s``)."""
+
+    def scale_down(self, t_s: float, deployment: str, replicas: int) -> None:
+        """The autoscaler retired an idle replica."""
 
 
 class RecordingTracer(Tracer):
@@ -403,3 +428,34 @@ class RecordingTracer(Tracer):
         reg.timeseries(f"rank{rank}/kv_bytes", cap).sample(t_s, float(kv_used_bytes))
         reg.timeseries(f"rank{rank}/batch", cap).sample(t_s, float(batch))
         reg.timeseries(f"rank{rank}/queue_depth", cap).sample(t_s, float(queue_depth))
+
+    def route(self, t_s: float, deployment: str, req_id: int,
+              router: str) -> None:
+        """Record one routing decision (cluster lane, rank ``-1``)."""
+        self.events.append(TraceEvent(
+            "route", t_s, -1, req_id,
+            {"deployment": deployment, "router": router},
+        ))
+        self.registry.counter("routes").inc()
+
+    def scale_up(self, t_s: float, deployment: str, replicas: int,
+                 cold_start_s: float, weight_bytes: int) -> None:
+        """Record a replica addition with its cold-start transfer cost."""
+        self.events.append(TraceEvent(
+            "scale_up", t_s, -1, None,
+            {
+                "deployment": deployment,
+                "replicas": replicas,
+                "cold_start_s": cold_start_s,
+                "weight_bytes": weight_bytes,
+            },
+        ))
+        self.registry.counter("scale_ups").inc()
+
+    def scale_down(self, t_s: float, deployment: str, replicas: int) -> None:
+        """Record an idle replica's retirement."""
+        self.events.append(TraceEvent(
+            "scale_down", t_s, -1, None,
+            {"deployment": deployment, "replicas": replicas},
+        ))
+        self.registry.counter("scale_downs").inc()

@@ -4,7 +4,8 @@ Bridges the per-request inference costs in :mod:`repro.model` to
 datacenter-style serving: a stream of requests (arrival time, prompt
 length, generation length) is scheduled onto rank-sharded model
 replicas with continuous batching and KV-cache admission, producing
-TTFT / TPOT / latency-percentile / throughput / energy metrics.
+TTFT / TPOT / latency-percentile / throughput / energy metrics — for a
+single deployment or a heterogeneous routed cluster of them.
 
 * :mod:`repro.serving.trace` — :class:`Request`, seeded synthetic
   traces (steady Poisson, bursty MMPP, diurnal and conversational
@@ -13,13 +14,25 @@ TTFT / TPOT / latency-percentile / throughput / energy metrics.
 * :mod:`repro.serving.policy` — pluggable scheduling policies
   (``fcfs`` / ``sjf`` / ``priority`` / ``chunked_prefill``) with
   KV-pressure preemption and cache-eviction selection,
-* :mod:`repro.serving.scheduler` — the continuous-batching simulator
-  (:func:`simulate_trace`) with the optional per-rank refcounted
-  :class:`PrefixCache`,
+* :mod:`repro.serving.engine` — the layered continuous-batching engine
+  package (config / prefix cache / records / cost spine / rank engine /
+  driver); :mod:`repro.serving.scheduler` is its stable re-export shim
+  (:func:`simulate_trace`, :class:`PrefixCache`, ...),
+* :mod:`repro.serving.routing` — the :data:`ROUTERS` registry of
+  request-routing policies (``round_robin`` / ``least_kv`` / ``p2c`` /
+  ``slo_affinity``), used for single-deployment rank sharding and
+  cluster-level deployment routing alike,
+* :mod:`repro.serving.cluster` — :class:`Deployment` replicas behind a
+  router composed into a :class:`Cluster`
+  (:func:`simulate_cluster`),
+* :mod:`repro.serving.autoscale` — the queue-driven
+  :class:`Autoscaler`, charging replica cold-starts as DRAM-PIM weight
+  transfers,
 * :mod:`repro.serving.metrics` — per-request rows and percentile
-  summary tables (incl. SLO attainment and preemption counters),
+  summary tables (incl. SLO attainment, preemption counters and the
+  cluster-level rows),
 * :mod:`repro.serving.cli` — the ``python -m repro.serving`` command
-  line.
+  line (single-deployment and ``--cluster`` modes).
 """
 
 from repro.serving.trace import (
@@ -49,7 +62,30 @@ from repro.serving.scheduler import (
     ServingResult,
     simulate_trace,
 )
-from repro.serving.metrics import metrics_table, record_rows, summary
+from repro.serving.routing import (
+    ROUTERS,
+    LeastKvRouter,
+    P2cRouter,
+    RoundRobinRouter,
+    RoutingPolicy,
+    SloAffinityRouter,
+    get_router,
+)
+from repro.serving.cluster import (
+    Cluster,
+    ClusterResult,
+    Deployment,
+    DeploymentResult,
+    simulate_cluster,
+)
+from repro.serving.autoscale import Autoscaler, AutoscalerConfig
+from repro.serving.metrics import (
+    cluster_rows,
+    cluster_summary,
+    metrics_table,
+    record_rows,
+    summary,
+)
 from repro.serving.cli import build_parser, main
 
 __all__ = [
@@ -74,9 +110,25 @@ __all__ = [
     "RankStats",
     "ServingResult",
     "simulate_trace",
+    "ROUTERS",
+    "RoutingPolicy",
+    "RoundRobinRouter",
+    "LeastKvRouter",
+    "P2cRouter",
+    "SloAffinityRouter",
+    "get_router",
+    "Deployment",
+    "DeploymentResult",
+    "Cluster",
+    "ClusterResult",
+    "simulate_cluster",
+    "Autoscaler",
+    "AutoscalerConfig",
     "record_rows",
     "metrics_table",
     "summary",
+    "cluster_rows",
+    "cluster_summary",
     "build_parser",
     "main",
 ]

@@ -46,6 +46,15 @@ Record a full lifecycle trace and open it in Perfetto
     python -m repro.serving --scenario bursty --requests 128 \\
         --trace-out /tmp/serving.trace.json \\
         --timeline-out /tmp/serving.timeline.csv
+
+Route a bursty trace across a heterogeneous cluster of deployments
+(``[N*]model[:scheme[:ranks[:tier]]]`` entries, comma-separated) with
+least-KV routing and queue-driven autoscaling::
+
+    python -m repro.serving --cluster \\
+        --deployments "2*gpt-125m:W1A3:2:0,2*gpt-350m:W1A3:2:1" \\
+        --router least_kv --autoscale --scale-max 4 --scale-interval 5 \\
+        --scenario bursty --requests 2000 --arrival-rate 40
 """
 
 from __future__ import annotations
@@ -56,7 +65,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.io import write_csv, write_json
-from repro.experiments.tables import format_table, policy_table
+from repro.experiments.tables import cluster_table, format_table, policy_table
 from repro.kernels.cost import COST_KERNELS
 from repro.obs import (
     TRACE_LEVELS,
@@ -64,12 +73,25 @@ from repro.obs import (
     write_chrome_trace,
     write_timeline,
 )
-from repro.serving.metrics import metrics_table, record_rows, summary
+from repro.serving.autoscale import Autoscaler, AutoscalerConfig
+from repro.serving.cluster import Deployment, simulate_cluster
+from repro.serving.metrics import (
+    cluster_rows,
+    cluster_summary,
+    metrics_table,
+    record_rows,
+    summary,
+)
 from repro.serving.policy import POLICIES
+from repro.serving.routing import ROUTERS
 from repro.serving.scheduler import ENGINES, ServingConfig, simulate_trace
 from repro.serving.trace import Request, SCENARIOS, TraceSpec, generate_trace, trace_rows
 
 __all__ = ["build_parser", "main"]
+
+#: Heterogeneous default for ``--cluster``: four deployments in two model
+#: tiers, two rank replicas each.
+DEFAULT_DEPLOYMENTS = "2*gpt-125m:W1A3:2:0,2*gpt-350m:W1A3:2:1"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +176,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(conversational)")
     trace.add_argument("--seed", type=int, default=0, metavar="N",
                        help="trace RNG seed")
+    cluster = parser.add_argument_group("cluster")
+    cluster.add_argument("--cluster", action="store_true",
+                         help="route the trace across multiple deployments "
+                              "instead of sharding one (enables the other "
+                              "cluster flags)")
+    cluster.add_argument("--deployments", default=None, metavar="SPEC",
+                         help="comma-separated deployment entries "
+                              "[N*]model[:scheme[:ranks[:tier]]] (default "
+                              f"{DEFAULT_DEPLOYMENTS!r})")
+    cluster.add_argument("--router", default=None, metavar="NAME",
+                         help="request-routing policy "
+                              f"({', '.join(sorted(ROUTERS))}; default "
+                              "round_robin)")
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="enable the queue-driven autoscaler (replica "
+                              "cold starts are charged as DRAM-PIM weight "
+                              "broadcasts)")
+    cluster.add_argument("--scale-max", type=int, default=None, metavar="N",
+                         help="autoscaler replica cap per deployment "
+                              "(default 8)")
+    cluster.add_argument("--scale-interval", type=float, default=None,
+                         metavar="S",
+                         help="autoscaler control interval in simulated "
+                              "seconds (default 60)")
     obs = parser.add_argument_group("observability")
     obs.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -221,6 +267,108 @@ def _validate_args(args: argparse.Namespace) -> None:
     for ok, message, value in checks:
         if not ok:
             raise ValueError(f"{message}, got {value}")
+    _validate_cluster_args(args)
+
+
+def _validate_cluster_args(args: argparse.Namespace) -> None:
+    """Cluster-flag coupling and value checks (exit-2 contract)."""
+    if not args.cluster:
+        for flag, used in (
+            ("--deployments", args.deployments is not None),
+            ("--router", args.router is not None),
+            ("--autoscale", args.autoscale),
+            ("--scale-max", args.scale_max is not None),
+            ("--scale-interval", args.scale_interval is not None),
+        ):
+            if used:
+                raise ValueError(f"{flag} requires --cluster")
+        return
+    if args.compare:
+        raise ValueError("--compare is not supported with --cluster")
+    router = args.router if args.router is not None else "round_robin"
+    if router not in ROUTERS:
+        raise ValueError(
+            f"--router must be one of {', '.join(sorted(ROUTERS))}, "
+            f"got {router!r}"
+        )
+    if args.scale_max is not None and args.scale_max < 1:
+        raise ValueError(f"--scale-max must be >= 1, got {args.scale_max}")
+    if args.scale_interval is not None and args.scale_interval <= 0:
+        raise ValueError(
+            f"--scale-interval must be positive, got {args.scale_interval}"
+        )
+
+
+def _parse_deployments(text: str, args: argparse.Namespace) -> List[Deployment]:
+    """Build the deployment list from a ``--deployments`` spec string.
+
+    Entries are comma-separated ``[N*]model[:scheme[:ranks[:tier]]]``;
+    omitted fields default to the corresponding single-deployment flags
+    (``--scheme`` / ``--ranks``) and tier 0.  ``N*`` expands to N
+    identically-configured deployments, each still an independent
+    routing target with its own replicas and prefix caches.
+    """
+    deployments: List[Deployment] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            raise ValueError(f"--deployments has an empty entry in {text!r}")
+        count, body = 1, entry
+        if "*" in entry:
+            head, body = entry.split("*", 1)
+            try:
+                count = int(head)
+            except ValueError:
+                raise ValueError(
+                    f"--deployments count must be an integer, got {head!r} "
+                    f"in {entry!r}"
+                ) from None
+            if count < 1:
+                raise ValueError(
+                    f"--deployments count must be >= 1, got {count} in "
+                    f"{entry!r}"
+                )
+        fields = body.split(":")
+        if len(fields) > 4 or not fields[0]:
+            raise ValueError(
+                "--deployments entries are [N*]model[:scheme[:ranks[:tier]]], "
+                f"got {entry!r}"
+            )
+        model = fields[0]
+        scheme = fields[1].upper() if len(fields) > 1 and fields[1] else args.scheme.upper()
+        try:
+            ranks = int(fields[2]) if len(fields) > 2 and fields[2] else args.ranks
+            tier = int(fields[3]) if len(fields) > 3 and fields[3] else 0
+        except ValueError:
+            raise ValueError(
+                f"--deployments ranks/tier must be integers in {entry!r}"
+            ) from None
+        if ranks < 1:
+            raise ValueError(
+                f"--deployments ranks must be >= 1, got {ranks} in {entry!r}"
+            )
+        if tier < 0:
+            raise ValueError(
+                f"--deployments tier must be >= 0, got {tier} in {entry!r}"
+            )
+        config = ServingConfig(
+            model=model,
+            scheme=scheme,
+            kernel=args.kernel,
+            num_ranks=ranks,
+            dpus_per_rank=args.dpus_per_rank,
+            max_batch=args.max_batch,
+            policy=args.policy,
+            prefill_chunk_tokens=args.chunk_tokens,
+            engine=args.engine,
+            prefix_cache=args.prefix_cache,
+        )
+        for _ in range(count):
+            name = f"d{len(deployments)}-{model}"
+            deployments.append(
+                Deployment(config, name=name, tier=tier)
+            )
+    return deployments
 
 
 def _simulate_policy(
@@ -231,6 +379,29 @@ def _simulate_policy(
     row = summary(simulate_trace(requests, config))
     row["scenario"] = scenario
     return row
+
+
+def _spec_dict(spec: TraceSpec) -> dict:
+    """The trace-spec block of the JSON payloads."""
+    return {
+        "num_requests": spec.num_requests,
+        "arrival_rate_per_s": spec.arrival_rate_per_s,
+        "scenario": spec.scenario,
+        "prompt_mean": spec.prompt_mean,
+        "prompt_sigma": spec.prompt_sigma,
+        "prompt_max": spec.prompt_max,
+        "gen_mean": spec.gen_mean,
+        "gen_sigma": spec.gen_sigma,
+        "gen_max": spec.gen_max,
+        "priority_weights": list(spec.priority_weights),
+        "slo_ttft_s": list(spec.slo_ttft_s),
+        "sessions": spec.sessions,
+        "turns_mean": spec.turns_mean,
+        "think_time_mean_s": spec.think_time_mean_s,
+        "system_prompt_pool": spec.system_prompt_pool,
+        "system_prompt_tokens": spec.system_prompt_tokens,
+        "seed": spec.seed,
+    }
 
 
 def _parse_slos(text: Optional[str], tiers: int) -> Tuple[float, ...]:
@@ -248,6 +419,58 @@ def _parse_slos(text: Optional[str], tiers: int) -> Tuple[float, ...]:
             f"--slo-ttft names {len(slos)} tier(s) but --tiers is {tiers}"
         )
     return slos
+
+
+def _emit_cluster(args, spec, requests, result, tracer) -> int:
+    """Print / write the ``--cluster`` run outputs; returns exit code 0."""
+    rows = cluster_rows(result)
+    table = cluster_table(rows)
+    flat = cluster_summary(result)
+    if not args.quiet:
+        print(
+            f"# cluster: {len(requests)} request(s) across "
+            f"{len(result.deployments)} deployment(s) "
+            f"({flat['replicas']} replica(s)), router {result.router}, "
+            f"policy {args.policy}, scenario {spec.scenario}, makespan "
+            f"{flat['makespan_s']:.3f} s"
+        )
+        if table:
+            print("\n## Cluster metrics (aggregate + per deployment)\n")
+            print(format_table(table))
+        if result.scale_events and not args.quiet:
+            print(
+                f"\n{flat['scale_ups']} scale-up(s) "
+                f"({flat['cold_start_s']:.3f} s of weight-broadcast cold "
+                f"start), {flat['scale_downs']} scale-down(s)"
+            )
+    if args.output:
+        if args.output.endswith(".csv"):
+            write_csv(args.output, table)
+        else:
+            write_json(
+                args.output,
+                {
+                    "trace_spec": _spec_dict(spec),
+                    "summary": flat,
+                    "deployments": rows,
+                    "metrics": table,
+                    "scale_events": result.scale_events,
+                    "requests": record_rows(result),
+                    "trace": trace_rows(requests),
+                },
+            )
+        if not args.quiet:
+            print(f"\nwrote {args.output}")
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, tracer)
+        if not args.quiet:
+            print(f"wrote {args.trace_out} ({len(tracer.events)} events; "
+                  f"open in https://ui.perfetto.dev)")
+    if args.timeline_out:
+        write_timeline(args.timeline_out, tracer)
+        if not args.quiet:
+            print(f"wrote {args.timeline_out}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -297,7 +520,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             prefix_cache=args.prefix_cache,
         )
         requests = generate_trace(spec)
-        result = simulate_trace(requests, config, tracer=tracer)
+        if args.cluster:
+            deployments = _parse_deployments(
+                args.deployments
+                if args.deployments is not None
+                else DEFAULT_DEPLOYMENTS,
+                args,
+            )
+            autoscaler = None
+            if args.autoscale:
+                autoscaler = Autoscaler(AutoscalerConfig(
+                    max_replicas=(
+                        args.scale_max if args.scale_max is not None else 8
+                    ),
+                    interval_s=(
+                        args.scale_interval
+                        if args.scale_interval is not None
+                        else 60.0
+                    ),
+                ))
+            cluster_result = simulate_cluster(
+                requests,
+                deployments,
+                router=(
+                    args.router if args.router is not None else "round_robin"
+                ),
+                autoscaler=autoscaler,
+                tracer=tracer,
+            )
+        else:
+            result = simulate_trace(requests, config, tracer=tracer)
         comparison = []
         if args.compare:
             others = [name for name in sorted(POLICIES) if name != config.policy]
@@ -324,6 +576,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.cluster:
+        return _emit_cluster(args, spec, requests, cluster_result, tracer)
 
     table = metrics_table(result)
     if not args.quiet:

@@ -1,0 +1,429 @@
+"""Multi-deployment serving: deployments, the cluster event core.
+
+A :class:`Deployment` is one serving class — a
+:class:`~repro.serving.engine.config.ServingConfig` plus its live rank
+engines (replicas).  A :class:`Cluster` composes heterogeneous
+deployments behind a :class:`~repro.serving.routing.RoutingPolicy` and
+optionally an :class:`~repro.serving.autoscale.Autoscaler`:
+
+::
+
+    trace ──► Cluster.run ──► router.select ──► Deployment.submit ──► _RankEngine
+                   │                                   ▲
+                   └── Autoscaler.control ─ add/retire replicas ──────┘
+
+The cluster processes arrivals in global time order.  Deployments
+advance *lazily*: a state-aware router (``least_kv``, ``p2c``) or the
+autoscaler advancing a deployment to the current arrival time is the
+only thing that runs engines mid-trace — under the stateless
+``round_robin`` router all engine work happens at the final drain,
+which makes a single-deployment cluster equivalent to
+:func:`~repro.serving.engine.driver.simulate_trace`'s rank sharding.
+Arrivals are revealed to a deployment at routing time, so a decode
+segment committed before a *later* arrival was routed may run past it
+(the engine never splits a committed segment); scheduling is still
+fully deterministic given the trace and router.
+
+Each deployment's slice of the run is an ordinary
+:class:`~repro.serving.engine.records.ServingResult`, so the whole
+single-deployment metrics stack applies per deployment; the
+:class:`ClusterResult` adds routing counts and autoscaler events on
+top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.model.config import get_model_config
+from repro.model.cost import policy_weight_bytes
+from repro.model.policy import SchemePolicy
+from repro.pim.energy import EnergyModel
+from repro.pim.upmem import UpmemConfig, UpmemSystem
+from repro.serving.engine.config import ServingConfig
+from repro.serving.engine.costs import _CostCache
+from repro.serving.engine.rank_engine import _RankEngine
+from repro.serving.engine.records import RequestRecord, ServingResult
+from repro.serving.routing import RoutingPolicy, get_router
+from repro.serving.trace import Request
+
+__all__ = [
+    "Deployment",
+    "DeploymentResult",
+    "Cluster",
+    "ClusterResult",
+    "simulate_cluster",
+]
+
+
+class Deployment:
+    """One serving class: a config plus its live rank-engine replicas.
+
+    ``config.num_ranks`` is the *initial* replica count; the autoscaler
+    may add replicas (up to its own cap) or retire idle ones.  All
+    replicas share one memoised cost spine and one scheduling-policy
+    instance; each holds its own KV budget of ``kv_capacity`` bytes.
+    ``tier`` is the deployment's SLO class, matched against request
+    priorities by the ``slo_affinity`` router.
+
+    Raises
+    ------
+    ValueError
+        If the packed weights of the model/scheme do not leave any MRAM
+        for KV cache on a replica (same contract as
+        :func:`~repro.serving.engine.driver.simulate_trace`).
+    """
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        name: Optional[str] = None,
+        tier: int = 0,
+        scheme_policy: Optional[SchemePolicy] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.config = config
+        self.name = (
+            name if name is not None
+            else f"{config.model}-{config.scheme}-r{config.num_ranks}"
+        )
+        self.tier = tier
+        model = get_model_config(config.model)
+        scheme_policy = (
+            scheme_policy if scheme_policy is not None
+            else SchemePolicy(config.scheme)
+        )
+        energy_model = energy_model if energy_model is not None else EnergyModel()
+        system = UpmemSystem(
+            UpmemConfig(num_ranks=1, dpus_per_rank=config.dpus_per_rank)
+        )
+        self.weight_bytes = policy_weight_bytes(model, scheme_policy)
+        mram_total = config.dpus_per_rank * system.timings.mram_bytes
+        self.kv_capacity = mram_total - self.weight_bytes
+        if self.kv_capacity <= 0:
+            raise ValueError(
+                f"deployment {self.name!r}: packed weights "
+                f"({self.weight_bytes} B) exceed a replica's MRAM "
+                f"({mram_total} B); use more DPUs per rank or a narrower scheme"
+            )
+        self.cost_cache = _CostCache(
+            model, scheme_policy, system, config.kernel, energy_model
+        )
+        self.sched_policy = config.make_policy()
+        self.engines: List[_RankEngine] = []
+        self.routed = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.replicas_peak = 0
+        self._place = 0  # intra-deployment round-robin counter
+        self._session_engine: Dict[int, _RankEngine] = {}
+        self._tracer = None
+        self._profiler = None
+
+    # -- replica lifecycle ---------------------------------------------------
+
+    def add_replica(self, rank: int, ready_s: float = 0.0) -> _RankEngine:
+        """Provision one replica with global id ``rank``.
+
+        ``ready_s`` is the replica's initial clock — a cold-started
+        replica collects nothing before its weights have transferred,
+        so arrivals routed to it meanwhile wait in its pending queue.
+        """
+        engine = _RankEngine(
+            rank, (), self.cost_cache, self.config, self.kv_capacity,
+            self.sched_policy, tracer=self._tracer, profiler=self._profiler,
+        )
+        engine.clock = ready_s
+        self.engines.append(engine)
+        self.replicas_peak = max(self.replicas_peak, len(self.active_engines()))
+        return engine
+
+    def active_engines(self) -> List[_RankEngine]:
+        """Replicas currently accepting new work."""
+        return [e for e in self.engines if not e.retired]
+
+    def idle_engine(self) -> Optional[_RankEngine]:
+        """An active replica with nothing to do (scale-down candidate)."""
+        active = self.active_engines()
+        if len(active) <= 1:
+            return None
+        for engine in active:
+            if not engine.has_work:
+                return engine
+        return None
+
+    # -- lazy state views (router / autoscaler seam) -------------------------
+
+    def advance(self, t: float) -> None:
+        """Run every replica up to simulation time ``t`` (lazy, cheap
+        when nothing is due)."""
+        for engine in self.engines:
+            engine.advance(t)
+
+    def queue_depth(self, t: float) -> int:
+        """Waiting requests across active replicas, observed at ``t``."""
+        self.advance(t)
+        return sum(e.queue_depth() for e in self.active_engines())
+
+    def kv_occupancy(self, t: float) -> float:
+        """KV demand over capacity across active replicas at ``t``.
+
+        Demand counts both KV currently reserved by admitted requests
+        and the KV the waiting queue will need — queued load must show
+        up in the signal, because a fast replica can clear its reserved
+        KV inside one committed decode segment and otherwise look
+        permanently empty to the router.  May exceed 1.0 on a
+        backlogged deployment.
+        """
+        self.advance(t)
+        active = self.active_engines()
+        capacity = self.kv_capacity * len(active)
+        if capacity <= 0:
+            return 1.0
+        demand = sum(e.kv_used + e.kv_queued_bytes for e in active)
+        return demand / capacity
+
+    # -- request intake ------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Accept a routed request and place it on one of the replicas.
+
+        Non-session requests round-robin over the active replicas;
+        session turns stick to the replica that served the session's
+        first turn, so a replica's prefix cache sees the whole
+        conversation (falling back to fresh placement if that replica
+        has been retired).
+        """
+        active = self.active_engines()
+        engine: Optional[_RankEngine] = None
+        session = request.session_id
+        if session >= 0:
+            engine = self._session_engine.get(session)
+            if engine is not None and engine.retired:
+                engine = None
+        if engine is None:
+            engine = active[self._place % len(active)]
+            self._place += 1
+            if session >= 0:
+                self._session_engine[session] = engine
+        engine.submit(request)
+        self.routed += 1
+
+    # -- drain + result ------------------------------------------------------
+
+    def drain(self) -> None:
+        """Run every replica to completion and finalize its stats."""
+        for engine in self.engines:
+            engine.advance(math.inf)
+            engine.finalize()
+
+    def result(self) -> ServingResult:
+        """This deployment's slice of the run as a ServingResult."""
+        records: List[RequestRecord] = []
+        prefix_caches = []
+        for engine in self.engines:
+            records.extend(engine.records)
+            if engine.prefix_cache is not None:
+                prefix_caches.append(engine.prefix_cache)
+        records.sort(key=lambda rec: rec.req_id)
+        return ServingResult(
+            config=self.config,
+            records=records,
+            rank_stats=[e.stats for e in self.engines],
+            kv_capacity_bytes=self.kv_capacity,
+            weight_bytes=self.weight_bytes,
+            prefix_caches=tuple(prefix_caches),
+        )
+
+
+@dataclass
+class DeploymentResult:
+    """Per-deployment slice of a cluster simulation."""
+
+    name: str
+    tier: int
+    routed: int
+    replicas_final: int
+    replicas_peak: int
+    scale_ups: int
+    scale_downs: int
+    serving: ServingResult
+
+
+@dataclass
+class ClusterResult:
+    """Everything a cluster simulation produced.
+
+    ``deployments`` holds one :class:`DeploymentResult` per deployment
+    (each wrapping an ordinary
+    :class:`~repro.serving.engine.records.ServingResult`);
+    ``scale_events`` is the autoscaler's chronological action log, and
+    the cold-start totals aggregate its weight-transfer charges.
+    """
+
+    router: str
+    deployments: List[DeploymentResult]
+    scale_events: List[dict] = field(default_factory=list)
+    cold_start_s: float = 0.0
+    cold_start_bytes: int = 0
+
+    @property
+    def records(self) -> List[RequestRecord]:
+        """Every request record across deployments, by request id."""
+        out: List[RequestRecord] = []
+        for dep in self.deployments:
+            out.extend(dep.serving.records)
+        out.sort(key=lambda rec: rec.req_id)
+        return out
+
+    @property
+    def requests(self) -> int:
+        """Requests accounted for (completed or rejected) cluster-wide."""
+        return sum(len(dep.serving.records) for dep in self.deployments)
+
+    @property
+    def completed(self) -> int:
+        """Requests that produced all their tokens."""
+        return sum(
+            sum(1 for rec in dep.serving.records if rec.status == "completed")
+            for dep in self.deployments
+        )
+
+    @property
+    def rejected(self) -> int:
+        """Requests rejected as never-fitting their deployment's KV."""
+        return self.requests - self.completed
+
+    @property
+    def makespan_s(self) -> float:
+        """Time until the last replica anywhere goes idle."""
+        return max(
+            (dep.serving.makespan_s for dep in self.deployments), default=0.0
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        """Energy across every replica of every deployment."""
+        return sum(dep.serving.total_energy_j for dep in self.deployments)
+
+    @property
+    def output_tokens(self) -> int:
+        """Tokens generated cluster-wide."""
+        return sum(dep.serving.output_tokens for dep in self.deployments)
+
+
+class Cluster:
+    """Event core composing deployments behind a router.
+
+    The cluster walks the trace in global ``(arrival_s, req_id)`` order;
+    for each request it (1) lets the autoscaler act at its control
+    interval, (2) asks the router for a target deployment — session
+    turns are sticky to the deployment that served the session's first
+    turn — and (3) submits the request there.  After the last arrival
+    every deployment drains to completion.
+    """
+
+    def __init__(
+        self,
+        deployments: Sequence[Deployment],
+        router: Union[str, RoutingPolicy] = "round_robin",
+        autoscaler=None,
+        tracer=None,
+        profiler=None,
+    ) -> None:
+        self.deployments = list(deployments)
+        if not self.deployments:
+            raise ValueError("a cluster needs at least one deployment")
+        self.router = get_router(router) if isinstance(router, str) else router
+        self.autoscaler = autoscaler
+        self._trace = tracer if tracer is not None and tracer.enabled else None
+        self._next_rank = 0
+        self._session_target: Dict[int, int] = {}
+        for deployment in self.deployments:
+            deployment._tracer = tracer
+            deployment._profiler = profiler
+            for _ in range(deployment.config.num_ranks):
+                deployment.add_replica(self.allocate_rank())
+
+    def allocate_rank(self) -> int:
+        """Next cluster-unique replica id (records carry it as ``rank``)."""
+        rank = self._next_rank
+        self._next_rank += 1
+        return rank
+
+    def run(self, trace: Sequence[Request]) -> ClusterResult:
+        """Simulate serving ``trace`` across the deployments."""
+        deployments = self.deployments
+        router = self.router
+        scaler = self.autoscaler
+        session_target = self._session_target
+        tracer = self._trace
+        ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        for request in ordered:
+            t = request.arrival_s
+            if scaler is not None:
+                scaler.control(t, self)
+            session = request.session_id
+            target = session_target.get(session, -1) if session >= 0 else -1
+            if target < 0:
+                target = router.select(request, deployments)
+                if not 0 <= target < len(deployments):
+                    raise ValueError(
+                        f"router {router.name!r} returned invalid target "
+                        f"{target} for {len(deployments)} deployments"
+                    )
+                if session >= 0:
+                    session_target[session] = target
+            deployment = deployments[target]
+            deployment.submit(request)
+            if tracer is not None:
+                tracer.route(t, deployment.name, request.req_id, router.name)
+        for deployment in deployments:
+            deployment.drain()
+        scale_events = list(scaler.scale_events) if scaler is not None else []
+        return ClusterResult(
+            router=self.router.name,
+            deployments=[
+                DeploymentResult(
+                    name=d.name,
+                    tier=d.tier,
+                    routed=d.routed,
+                    replicas_final=len(d.active_engines()),
+                    replicas_peak=d.replicas_peak,
+                    scale_ups=d.scale_ups,
+                    scale_downs=d.scale_downs,
+                    serving=d.result(),
+                )
+                for d in deployments
+            ],
+            scale_events=scale_events,
+            cold_start_s=scaler.cold_start_s if scaler is not None else 0.0,
+            cold_start_bytes=(
+                scaler.cold_start_bytes if scaler is not None else 0
+            ),
+        )
+
+
+def simulate_cluster(
+    trace: Sequence[Request],
+    deployments: Sequence[Deployment],
+    router: Union[str, RoutingPolicy] = "round_robin",
+    autoscaler=None,
+    tracer=None,
+    profiler=None,
+) -> ClusterResult:
+    """Convenience wrapper: build a :class:`Cluster` and run ``trace``.
+
+    ``deployments`` are :class:`Deployment` instances (fresh ones — a
+    deployment holds live engine state and must not be reused across
+    runs); ``router`` is a registry name from
+    :data:`~repro.serving.routing.ROUTERS` or a pre-built policy;
+    ``autoscaler`` an optional
+    :class:`~repro.serving.autoscale.Autoscaler`.
+    """
+    return Cluster(
+        deployments, router=router, autoscaler=autoscaler,
+        tracer=tracer, profiler=profiler,
+    ).run(trace)

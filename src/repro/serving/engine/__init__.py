@@ -1,0 +1,48 @@
+"""Layered request-level serving engine with continuous batching.
+
+The engine package simulates serving a trace of inference requests on
+the UPMEM substrate the way a production stack would, split along its
+natural seams:
+
+* :mod:`~repro.serving.engine.config` — :class:`ServingConfig`, the
+  frozen deployment/scheduling knob bundle (and the :data:`ENGINES`
+  decode-advance registry).
+* :mod:`~repro.serving.engine.cache` — the refcounted KV
+  :class:`PrefixCache` and its :class:`CacheEntry` chains.
+* :mod:`~repro.serving.engine.records` — result types
+  (:class:`RequestRecord`, :class:`RankStats`, :class:`ServingResult`).
+* :mod:`~repro.serving.engine.costs` — the memoised analytical cost
+  spine (``_CostCache``) shared by every replica of a deployment.
+* :mod:`~repro.serving.engine.rank_engine` — one replica's
+  continuous-batching engine (``_RankEngine``), driveable either
+  run-to-drain or incrementally (``submit`` / ``advance`` /
+  ``finalize``) by the cluster layer.
+* :mod:`~repro.serving.engine.driver` — :func:`simulate_trace`, the
+  single-deployment driver: shard via the routing layer, drain each
+  rank engine, aggregate the result.
+
+The scheduling semantics (per-rank sharding, continuous batching,
+event-driven decode segments vs. the per-token reference loop,
+pluggable policies, KV admission/preemption, the prefix cache and the
+observability hooks) are documented on the classes themselves and in
+:mod:`repro.serving.scheduler`, which remains the stable import path
+re-exporting everything here.
+"""
+
+from repro.serving.engine.cache import CacheEntry, PrefixCache
+from repro.serving.engine.config import ENGINES, ServingConfig
+from repro.serving.engine.costs import _CostCache
+from repro.serving.engine.driver import simulate_trace
+from repro.serving.engine.rank_engine import _RankEngine, _RequestState
+from repro.serving.engine.records import RankStats, RequestRecord, ServingResult
+
+__all__ = [
+    "ENGINES",
+    "CacheEntry",
+    "PrefixCache",
+    "ServingConfig",
+    "RequestRecord",
+    "RankStats",
+    "ServingResult",
+    "simulate_trace",
+]

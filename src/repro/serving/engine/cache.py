@@ -1,0 +1,217 @@
+"""Refcounted KV prefix cache shared-state for one rank engine.
+
+:class:`PrefixCache` retains finished requests' KV pages so later
+requests (a session's next turn, or another session reusing a shared
+system prompt) admit at the cost of only the uncached suffix.  Entries
+form parent chains rather than a full radix tree — the workload only
+ever extends a prefix at its tip — and eviction is LRU over
+refcount-zero, childless entries, always consulted *before* preemption
+(see :meth:`PrefixCache.plan_evictions` and the admission logic in
+:mod:`repro.serving.engine.rank_engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.serving.policy import SchedulingPolicy
+from repro.serving.trace import Request
+
+__all__ = ["CacheEntry", "PrefixCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One retained KV prefix in a rank's :class:`PrefixCache`.
+
+    ``key`` identifies the token prefix — ``("sys", prefix_id)`` for a
+    shared system prompt, ``("sess", session_id, turn)`` for the full
+    context a session's next ``turn`` resumes from.  ``owned_bytes`` is
+    only this entry's tail beyond its ``parent``; the bytes of a cached
+    depth are the sum over the parent chain, so shared pages are counted
+    once no matter how many sessions chain off them.  ``refcount``
+    counts *requests* currently resuming from the entry, ``children``
+    counts chained entries; an entry is evictable only when both are
+    zero (LRU by ``last_used_s``, insertion ``seq`` as the tie-break).
+    """
+
+    key: Tuple
+    depth_tokens: int
+    owned_bytes: int
+    parent: Optional["CacheEntry"]
+    refcount: int = 0
+    children: int = 0
+    last_used_s: float = 0.0
+    seq: int = 0
+
+
+class PrefixCache:
+    """Refcounted per-rank cache of KV prefixes (radix-tree-lite).
+
+    Entries form parent chains (system prompt → session turns) rather
+    than a full radix tree: the workload only ever extends a prefix at
+    its tip, so each entry owns its tail bytes and pins its parent via
+    ``children``.  ``total_bytes`` is the cache's share of the rank's
+    ``kv_used`` accounting — transferred in from finished requests, out
+    on eviction, never double-counted.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, CacheEntry] = {}
+        self.total_bytes = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[CacheEntry]:
+        """All live entries (insertion order; test/introspection helper)."""
+        return list(self._entries.values())
+
+    def get(self, key: Tuple) -> Optional[CacheEntry]:
+        """The entry stored under ``key``, or None."""
+        return self._entries.get(key)
+
+    def lookup(self, request: Request) -> Optional[CacheEntry]:
+        """Deepest cached prefix of ``request``'s prompt, if any.
+
+        A session's next turn resumes from the full prior context when
+        the previous turn finished in time; otherwise (and for first
+        turns) the shared system prompt alone may still hit.
+        """
+        if request.session_id >= 0 and request.turn > 0:
+            hit = self._entries.get(("sess", request.session_id, request.turn))
+            if hit is not None:
+                return hit
+        if request.shared_prefix_id >= 0:
+            return self._entries.get(("sys", request.shared_prefix_id))
+        return None
+
+    def insert(
+        self,
+        key: Tuple,
+        depth_tokens: int,
+        owned_bytes: int,
+        parent: Optional[CacheEntry],
+        now_s: float,
+    ) -> CacheEntry:
+        """Insert a new entry owning ``owned_bytes`` beyond ``parent``.
+
+        Pins the parent (``children`` += 1) and adds the owned tail to
+        ``total_bytes``; raises ``ValueError`` on a duplicate key.
+        """
+        if key in self._entries:
+            raise ValueError(f"cache entry {key!r} already present")
+        entry = CacheEntry(
+            key=key, depth_tokens=depth_tokens, owned_bytes=owned_bytes,
+            parent=parent, last_used_s=now_s, seq=self._seq,
+        )
+        self._seq += 1
+        if parent is not None:
+            parent.children += 1
+        self._entries[key] = entry
+        self.total_bytes += owned_bytes
+        return entry
+
+    def acquire(self, entry: CacheEntry, now_s: float) -> None:
+        """Pin ``entry`` for a request and refresh its LRU timestamp."""
+        entry.refcount += 1
+        entry.last_used_s = now_s
+
+    def release(self, entry: CacheEntry) -> None:
+        """Drop one request reference; raises if already at zero."""
+        if entry.refcount <= 0:
+            raise ValueError(f"cache entry {entry.key!r} released below zero")
+        entry.refcount -= 1
+
+    def refcount_total(self) -> int:
+        """Sum of request references across entries (0 once drained)."""
+        return sum(e.refcount for e in self._entries.values())
+
+    @staticmethod
+    def chain(entry: Optional[CacheEntry]) -> set:
+        """ids of ``entry`` and its ancestors (the eviction-exempt set)."""
+        out = set()
+        while entry is not None:
+            out.add(id(entry))
+            entry = entry.parent
+        return out
+
+    def evictable(self, exclude: set = frozenset()) -> List[CacheEntry]:
+        """Immediately evictable entries in LRU order.
+
+        Refcount-zero, childless, and outside ``exclude`` (the candidate
+        request's own hit chain).  If this list is empty, no entry is
+        reclaimable even transitively — parents only unpin after a
+        childless descendant goes first.
+        """
+        return sorted(
+            (
+                e for e in self._entries.values()
+                if e.refcount == 0 and e.children == 0 and id(e) not in exclude
+            ),
+            key=lambda e: (e.last_used_s, e.seq),
+        )
+
+    def evictable_bytes(self, exclude: set = frozenset()) -> int:
+        """Bytes reclaimable right now — 0 whenever preemption fires."""
+        return sum(e.owned_bytes for e in self.evictable(exclude))
+
+    def plan_evictions(
+        self,
+        policy: SchedulingPolicy,
+        need_bytes: int,
+        exclude: set = frozenset(),
+    ) -> Tuple[List[CacheEntry], int]:
+        """Plan (without executing) evictions freeing ``need_bytes``.
+
+        Repeatedly offers the policy the currently-evictable entries in
+        LRU order (simulating the child-release of already-planned
+        evictions, so a whole refcount-zero session chain can be
+        reclaimed tip-first in one plan) until the need is met or
+        nothing more is reclaimable.  Returns the planned entries in
+        eviction order and the bytes they free.
+        """
+        planned: List[CacheEntry] = []
+        planned_ids: set = set()
+        released: Dict[int, int] = {}
+        freed = 0
+        while freed < need_bytes:
+            candidates = sorted(
+                (
+                    e for e in self._entries.values()
+                    if id(e) not in planned_ids and id(e) not in exclude
+                    and e.refcount == 0
+                    and e.children - released.get(id(e), 0) == 0
+                ),
+                key=lambda e: (e.last_used_s, e.seq),
+            )
+            if not candidates:
+                break
+            chosen = policy.select_cache_evictions(candidates, need_bytes - freed)
+            if not chosen:
+                break
+            for entry in chosen:
+                if id(entry) in planned_ids:
+                    continue
+                planned.append(entry)
+                planned_ids.add(id(entry))
+                freed += entry.owned_bytes
+                if entry.parent is not None:
+                    parent_id = id(entry.parent)
+                    released[parent_id] = released.get(parent_id, 0) + 1
+        return planned, freed
+
+    def evict(self, entry: CacheEntry) -> None:
+        """Remove ``entry``, returning its owned bytes to the rank and
+        unpinning its parent; raises if still referenced or chained."""
+        if entry.refcount or entry.children:
+            raise ValueError(
+                f"cache entry {entry.key!r} still referenced "
+                f"(refcount={entry.refcount}, children={entry.children})"
+            )
+        del self._entries[entry.key]
+        self.total_bytes -= entry.owned_bytes
+        if entry.parent is not None:
+            entry.parent.children -= 1

@@ -1,0 +1,199 @@
+"""Memoised cost spine shared by every rank engine of a deployment.
+
+:class:`_CostCache` turns the closed-form analytical cost model
+(:mod:`repro.model.cost`) into O(1) dict lookups for the engine's hot
+path.  One instance per deployment: engines of the same deployment
+share it (identical model/scheme/kernel ⇒ identical cost surfaces), so
+a cluster pays the analytical evaluations once per *shape*, not once
+per replica.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.kernels.cost import _cached_naive_sum_k as _naive_sum_k_lru
+from repro.kernels.cost import _cached_naive_sum_n as _naive_sum_n_lru
+
+# The cost cache memoises sums locally by integer KV keys, so the lru
+# layer (whose frozen-dataclass keys re-hash the whole timing config per
+# lookup) only adds overhead — call the undecorated bodies directly.
+_naive_sum_n = _naive_sum_n_lru.__wrapped__
+_naive_sum_k = _naive_sum_k_lru.__wrapped__
+from repro.model.config import ModelConfig
+from repro.model.cost import decode_step_weight_stats, prefill_chunk_stats
+from repro.model.decoder import ATTENTION_SCHEME
+from repro.model.policy import SchemePolicy
+from repro.quant.schemes import resolve_scheme
+from repro.pim.energy import EnergyModel
+from repro.pim.upmem import ExecutionStats, UpmemSystem
+
+__all__ = ["_CostCache"]
+
+
+class _CostCache:
+    """Memoised (latency, energy) scalars for the engine's cost queries.
+
+    One instance per simulation: distinct prefill-chunk shapes, batch
+    sizes and KV lengths each cost one analytical evaluation, after
+    which an engine iteration is a handful of dict lookups.  A whole
+    prompt is the ``(done=0, chunk=prompt)`` special case of a chunk,
+    bit-identical to the prefill phase of
+    :func:`~repro.model.cost.model_inference_cost`.
+
+    The event engine widens the per-iteration tables with a *segment*
+    table: a multi-token decode segment at batch ``B`` over per-request
+    KV ranges costs ``B`` lookups in the cumulative attention table
+    (:meth:`attn_cum`, keyed by KV depth; differences of cumulative
+    sums give any ``[kv_lo, kv_hi]`` range in O(1)) plus the
+    batch-keyed :meth:`weight_step` entry scaled by the segment length
+    — the memoisation key space is exactly (batch, KV-depth range).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        policy: SchemePolicy,
+        system: UpmemSystem,
+        kernel: str,
+        energy_model: EnergyModel,
+    ) -> None:
+        self.model = model
+        self.policy = policy
+        self.system = system
+        self.kernel = kernel
+        self.energy = energy_model
+        self._chunk: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        self._weight_step: Dict[int, Tuple[float, float]] = {}
+        self._attn_step: Dict[int, Tuple[float, float]] = {}
+        # Cumulative attention scalars, keyed by KV depth.  Below
+        # ``_attn_cum_floor`` the attention matmuls' DPU count still
+        # grows with the KV length, so per-step energy attribution is
+        # not linear in the aggregated stats and the cumulative sum is
+        # built step by step; past the floor the DPU count is constant
+        # and whole ranges collapse to one closed-form evaluation.
+        self._attn_cum: Dict[int, Tuple[float, float]] = {0: (0.0, 0.0)}
+        self._attn_cum_floor = (
+            system.total_dpus if system.total_dpus > model.head_dim else 0
+        )
+        # Sorted constant-region keys of ``_attn_cum`` (plus 0), so a new
+        # cumulative entry extends from its nearest cached neighbour
+        # instead of re-summing the whole prefix.
+        self._attn_cum_keys: List[int] = [0]
+        # Attention matmuls are always costed on the naive int8-MAC path
+        # at ATTENTION_SCHEME precision; resolve once so cache misses
+        # call the shared cost functions directly (the public wrappers'
+        # per-call scheme/config resolution and defensive copies are
+        # measurable at event-engine miss rates).
+        self._attn_scheme = resolve_scheme(ATTENTION_SCHEME)
+
+    def _scalars(self, stats: ExecutionStats) -> Tuple[float, float]:
+        return stats.total_s, self.energy.total_j(stats)
+
+    def prefill_chunk(self, done_tokens: int, chunk_tokens: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one prefill chunk after ``done_tokens``."""
+        key = (done_tokens, chunk_tokens)
+        hit = self._chunk.get(key)
+        if hit is None:
+            stats = prefill_chunk_stats(
+                self.model, self.policy, 1, done_tokens, chunk_tokens,
+                system=self.system, kernel=self.kernel,
+            )
+            hit = self._scalars(stats)
+            self._chunk[key] = hit
+        return hit
+
+    def weight_step(self, batch: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one decode step's weight GEMMs at ``batch``."""
+        hit = self._weight_step.get(batch)
+        if hit is None:
+            stats = decode_step_weight_stats(
+                self.model, self.policy, batch, system=self.system, kernel=self.kernel
+            )
+            hit = self._scalars(stats)
+            self._weight_step[batch] = hit
+        return hit
+
+    def attn_step(self, kv_len: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one request's attention at ``kv_len``.
+
+        Both attention matmuls for a single sequence, scaled to all
+        layers (attention shapes are layer-independent).
+        """
+        hit = self._attn_step.get(kv_len)
+        if hit is None:
+            # Single-term instance of the closed-form range sums: the
+            # same stats as costing both matmuls individually, without
+            # the per-call bank/buffer modelling objects.
+            heads, head_dim = self.model.num_heads, self.model.head_dim
+            config = self.system.config
+            per_layer = _naive_sum_n(
+                self._attn_scheme, heads, head_dim, kv_len, kv_len, config
+            ) + _naive_sum_k(
+                self._attn_scheme, heads, head_dim, kv_len, kv_len, config
+            )
+            hit = self._scalars(per_layer.scaled(self.model.num_layers))
+            self._attn_step[kv_len] = hit
+        return hit
+
+    def attn_cum(self, kv_len: int) -> Tuple[float, float]:
+        """Cumulative ``sum(attn_step(kv) for kv in [1, kv_len])`` scalars.
+
+        Matches the per-step sum the loop engine would accumulate
+        (latency to float rounding, energy attributed per step): below
+        :attr:`_attn_cum_floor` the sum extends step by step through the
+        memoised :meth:`attn_step` entries, above it whole tails come
+        from one :func:`~repro.model.cost.decode_attention_stats_sum`
+        evaluation (valid there because the attention DPU count — and
+        with it the energy model's per-DPU scaling — is constant).
+        """
+        hit = self._attn_cum.get(kv_len)
+        if hit is not None:
+            return hit
+        floor = self._attn_cum_floor
+        if kv_len <= floor:
+            start = kv_len
+            while start > 1 and (start - 1) not in self._attn_cum:
+                start -= 1
+            lat, energy = self._attn_cum[start - 1]
+            for kv in range(start, kv_len + 1):
+                step_lat, step_energy = self.attn_step(kv)
+                lat += step_lat
+                energy += step_energy
+                self._attn_cum[kv] = (lat, energy)
+            return self._attn_cum[kv_len]
+        keys = self._attn_cum_keys
+        base_key = keys[bisect.bisect_left(keys, kv_len) - 1]
+        if base_key < floor:
+            base_key = floor
+            base_lat, base_energy = self.attn_cum(floor)
+        else:
+            base_lat, base_energy = self._attn_cum[base_key]
+        # Equivalent of decode_attention_stats_sum(model, 1, base_key + 1,
+        # kv_len) scaled to all layers, via the shared cached sums.
+        heads, head_dim = self.model.num_heads, self.model.head_dim
+        config = self.system.config
+        tail = (
+            _naive_sum_n(
+                self._attn_scheme, heads, head_dim, base_key + 1, kv_len, config
+            )
+            + _naive_sum_k(
+                self._attn_scheme, heads, head_dim, base_key + 1, kv_len, config
+            )
+        ).scaled(self.model.num_layers)
+        hit = (base_lat + tail.total_s, base_energy + self.energy.total_j(tail))
+        self._attn_cum[kv_len] = hit
+        bisect.insort(keys, kv_len)
+        return hit
+
+    def attn_segment(self, kv_lo: int, kv_hi: int) -> Tuple[float, float]:
+        """(latency_s, energy_j) of one request's attention over a KV range.
+
+        The sum of :meth:`attn_step` for every ``kv`` in
+        ``[kv_lo, kv_hi]`` — the attention cost of one multi-token
+        decode segment — as a difference of two cumulative entries.
+        """
+        lo_lat, lo_energy = self.attn_cum(kv_lo - 1)
+        hi_lat, hi_energy = self.attn_cum(kv_hi)
+        return hi_lat - lo_lat, hi_energy - lo_energy

@@ -1,0 +1,110 @@
+"""Single-deployment serving driver.
+
+:func:`simulate_trace` assembles the pieces the engine package splits
+apart — resolve the model and scheme, size the per-replica KV budget,
+build one shared :class:`~repro.serving.engine.costs._CostCache`, shard
+the trace across rank engines via the routing layer's
+:class:`~repro.serving.routing.RoundRobinRouter`, and drain each engine
+— returning the :class:`~repro.serving.engine.records.ServingResult`
+the metrics layer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.model.config import get_model_config
+from repro.model.cost import policy_weight_bytes
+from repro.model.policy import SchemePolicy
+from repro.pim.energy import EnergyModel
+from repro.pim.upmem import UpmemConfig, UpmemSystem
+from repro.serving.engine.cache import PrefixCache
+from repro.serving.engine.config import ServingConfig
+from repro.serving.engine.costs import _CostCache
+from repro.serving.engine.rank_engine import _RankEngine
+from repro.serving.engine.records import RankStats, RequestRecord, ServingResult
+from repro.serving.policy import SchedulingPolicy
+from repro.serving.routing import RoundRobinRouter
+from repro.serving.trace import Request
+
+__all__ = ["simulate_trace"]
+
+
+def simulate_trace(
+    trace: Sequence[Request],
+    config: Optional[ServingConfig] = None,
+    scheme_policy: Optional[SchemePolicy] = None,
+    energy_model: Optional[EnergyModel] = None,
+    sched_policy: Optional[SchedulingPolicy] = None,
+    tracer=None,
+    profiler=None,
+) -> ServingResult:
+    """Simulate serving ``trace`` under ``config``; returns the full result.
+
+    Requests are assigned to rank replicas by the routing layer's
+    :class:`~repro.serving.routing.RoundRobinRouter` — round-robin in
+    arrival order, except session turns, which all land on
+    ``session_id mod num_ranks`` so a rank's prefix cache can serve the
+    whole conversation; each replica then runs its continuous-batching
+    engine independently (replicas share nothing but the host).
+    ``scheme_policy`` defaults to the uniform ``config.scheme``
+    quantization policy; ``sched_policy`` overrides the scheduling
+    policy named by ``config.policy`` (useful for pre-configured policy
+    instances).  ``tracer`` (a :class:`repro.obs.tracer.Tracer`, e.g.
+    the recording tracer) receives every engine lifecycle event;
+    ``profiler`` (a :class:`repro.obs.profile.SelfProfiler`) accumulates
+    the engines' own wall-clock phase times.  Both default to off with
+    no hot-path cost beyond one branch per scheduler event.
+
+    Raises
+    ------
+    ValueError
+        If the packed weights of the model/policy do not leave any MRAM
+        for KV cache on a replica.
+    """
+    config = config if config is not None else ServingConfig()
+    model = get_model_config(config.model)
+    scheme_policy = (
+        scheme_policy if scheme_policy is not None else SchemePolicy(config.scheme)
+    )
+    energy_model = energy_model if energy_model is not None else EnergyModel()
+    sched_policy = sched_policy if sched_policy is not None else config.make_policy()
+    system = UpmemSystem(
+        UpmemConfig(num_ranks=1, dpus_per_rank=config.dpus_per_rank)
+    )
+    weight_bytes = policy_weight_bytes(model, scheme_policy)
+    mram_total = config.dpus_per_rank * system.timings.mram_bytes
+    kv_capacity = mram_total - weight_bytes
+    if kv_capacity <= 0:
+        raise ValueError(
+            f"packed weights ({weight_bytes} B) exceed a replica's MRAM "
+            f"({mram_total} B); use more DPUs per rank or a narrower scheme"
+        )
+    cache = _CostCache(model, scheme_policy, system, config.kernel, energy_model)
+
+    shards: List[List[Request]] = [[] for _ in range(config.num_ranks)]
+    router = RoundRobinRouter()
+    ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+    for request in ordered:
+        shards[router.select(request, shards)].append(request)
+
+    records: List[RequestRecord] = []
+    rank_stats: List[RankStats] = []
+    prefix_caches: List[PrefixCache] = []
+    for rank, shard in enumerate(shards):
+        engine = _RankEngine(rank, shard, cache, config, kv_capacity,
+                             sched_policy, tracer=tracer, profiler=profiler)
+        shard_records, shard_stats = engine.run()
+        records.extend(shard_records)
+        rank_stats.append(shard_stats)
+        if engine.prefix_cache is not None:
+            prefix_caches.append(engine.prefix_cache)
+    records.sort(key=lambda rec: rec.req_id)
+    return ServingResult(
+        config=config,
+        records=records,
+        rank_stats=rank_stats,
+        kv_capacity_bytes=kv_capacity,
+        weight_bytes=weight_bytes,
+        prefix_caches=tuple(prefix_caches),
+    )

@@ -1,0 +1,600 @@
+"""One replica's continuous-batching engine.
+
+:class:`_RankEngine` owns a single rank's scheduler state (pending →
+ready → prefilling → running) and advances it one scheduler iteration
+at a time (:meth:`_RankEngine._step`).  Two driving modes share that
+step body:
+
+* **Run-to-drain** (:meth:`_RankEngine.run`) — the single-deployment
+  driver hands every request to the constructor and drains the engine
+  in one call; this is the original monolith behavior, bit-identical to
+  it by construction.
+* **Incremental** (:meth:`_RankEngine.submit` /
+  :meth:`_RankEngine.advance` / :meth:`_RankEngine.finalize`) — the
+  cluster layer reveals arrivals one routing decision at a time and
+  advances the engine lazily to a time horizon, so routers can observe
+  live queue depth and KV occupancy between arrivals.
+  ``advance(math.inf)`` after the last ``submit`` is equivalent to
+  ``run()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.serving.engine.cache import CacheEntry, PrefixCache
+from repro.serving.engine.config import ServingConfig
+from repro.serving.engine.costs import _CostCache
+from repro.serving.engine.records import RankStats, RequestRecord
+from repro.serving.policy import SchedulingPolicy
+from repro.serving.trace import Request
+
+__all__ = ["_RequestState", "_RankEngine"]
+
+
+@dataclass
+class _RequestState:
+    """Mutable per-request scheduling state inside a rank engine.
+
+    ``prefix_target`` / ``prefix_done`` track the prefix (prompt plus
+    any previously generated tokens after a preemption) that must be
+    prefilled before the request may decode again; a prefix-cache hit
+    pre-credits ``prefix_done`` so only the uncached tail is prefilled.
+    ``kv_bytes`` is the request's full logical KV footprint;
+    ``kv_private`` the bytes it actually reserved this admission (the
+    footprint minus the cached prefix — equal to ``kv_bytes`` whenever
+    the cache is off or missed).
+    """
+
+    request: Request
+    record: RequestRecord
+    kv_bytes: int
+    tokens_out: int = 0
+    prefix_target: int = 0
+    prefix_done: int = 0
+    cached_tokens: int = 0
+    kv_private: int = 0
+    cache_entry: Optional[CacheEntry] = None
+
+
+class _RankEngine:
+    """One replica's continuous-batching engine, driven by a policy."""
+
+    def __init__(
+        self,
+        rank: int,
+        requests: Sequence[Request],
+        cache: _CostCache,
+        config: ServingConfig,
+        kv_capacity: int,
+        policy: SchedulingPolicy,
+        tracer=None,
+        profiler=None,
+    ) -> None:
+        self.cache = cache
+        self.config = config
+        self.kv_capacity = kv_capacity
+        self.policy = policy
+        self.rank = rank
+        # Null-tracer fast path: a disabled (or absent) tracer is stored
+        # as None, so every hook site is one `is not None` branch.
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+        self._detail = (
+            self._trace is not None and self._trace.wants_engine_detail
+        )
+        self.profiler = profiler
+        self.stats = RankStats(rank=rank)
+        self.records: List[RequestRecord] = []
+        self.pending: deque = deque()
+        self.kv_queued_bytes = 0
+        for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
+            self.submit(r)
+        self.ready: List[Tuple[Tuple, int, _RequestState]] = []
+        self.prefilling: List[_RequestState] = []
+        self.running: List[_RequestState] = []
+        self.clock = 0.0
+        self.kv_used = 0
+        self._seq = 0  # heap tie-break counter
+        self._event_driven = config.engine == "event"
+        self.prefix_cache = PrefixCache() if config.prefix_cache else None
+        #: Cluster-managed flag: a retired replica receives no new work
+        #: from its deployment (the engine itself never reads it).
+        self.retired = False
+
+    # -- incremental driving (cluster seam) -----------------------------------
+
+    @property
+    def has_work(self) -> bool:
+        """True while any request is pending, queued, prefilling or running."""
+        return bool(self.pending or self.ready or self.prefilling or self.running)
+
+    def queue_depth(self) -> int:
+        """Requests waiting to be served (uncollected + ready queue)."""
+        return len(self.pending) + len(self.ready)
+
+    def next_event_s(self) -> float:
+        """Simulation time of this engine's next scheduler step.
+
+        The current clock while work is in flight, the head arrival
+        (clamped to the clock) when only future arrivals remain, and
+        ``inf`` when drained.
+        """
+        if self.ready or self.prefilling or self.running:
+            return self.clock
+        if self.pending:
+            return max(self.clock, self.pending[0].request.arrival_s)
+        return math.inf
+
+    def submit(self, request: Request) -> None:
+        """Append ``request`` to the pending queue (arrival order).
+
+        The pending deque is consumed head-first by
+        :meth:`_collect_arrivals`, so submissions must arrive in
+        non-decreasing arrival time — the cluster's global event loop
+        guarantees this by processing arrivals in time order.
+        """
+        if self.pending and request.arrival_s < self.pending[-1].request.arrival_s:
+            raise ValueError(
+                f"request {request.req_id} submitted out of arrival order "
+                f"({request.arrival_s} < {self.pending[-1].request.arrival_s})"
+            )
+        self.pending.append(
+            _RequestState(
+                request=request,
+                record=RequestRecord(
+                    req_id=request.req_id, rank=self.rank,
+                    arrival_s=request.arrival_s,
+                    prompt_tokens=request.prompt_tokens,
+                    gen_tokens=request.gen_tokens,
+                    priority=request.priority, slo_ttft_s=request.slo_ttft_s,
+                    session_id=request.session_id, turn=request.turn,
+                ),
+                kv_bytes=self.cache.model.kv_cache_bytes(
+                    1, request.prompt_tokens + request.gen_tokens
+                ),
+            )
+        )
+        self.kv_queued_bytes += self.pending[-1].kv_bytes
+
+    def advance(self, horizon_s: float) -> None:
+        """Run scheduler steps whose start time is at or before ``horizon_s``.
+
+        ``advance(math.inf)`` drains the engine completely; a decode
+        segment that *starts* before the horizon may finish past it (the
+        engine never splits a committed segment).
+        """
+        while self.has_work and self.next_event_s() <= horizon_s:
+            self._step()
+
+    def finalize(self) -> RankStats:
+        """Close the books once drained: stamp finish time and final KV."""
+        self.stats.finish_s = self.clock
+        # Whatever KV is still reserved at drain belongs to the cache
+        # (every request released or donated its private pages).
+        self.stats.kv_final_bytes = self.kv_used
+        return self.stats
+
+    # -- ready-queue helpers ------------------------------------------------
+
+    def _enqueue(self, state: _RequestState) -> None:
+        heapq.heappush(self.ready, (self.policy.admission_key(state), self._seq, state))
+        self._seq += 1
+
+    def _collect_arrivals(self) -> None:
+        while self.pending and self.pending[0].request.arrival_s <= self.clock:
+            state = self.pending.popleft()
+            if self._trace is not None:
+                self._trace.arrive(state.request.arrival_s, self.rank,
+                                   state.request)
+            self._enqueue(state)
+
+    # -- admission + preemption ---------------------------------------------
+
+    def _preempt(
+        self, victims: Sequence[_RequestState], evictable_bytes: int = 0
+    ) -> None:
+        pc = self.prefix_cache
+        for victim in victims:
+            self.running.remove(victim)
+            self.kv_used -= victim.kv_private
+            victim.record.preemptions += 1
+            self.stats.preemptions += 1
+            victim.prefix_done = 0
+            if self._trace is not None:
+                self._trace.preempt(self.clock, self.rank,
+                                    victim.record.req_id, victim.kv_private,
+                                    victim.tokens_out, evictable_bytes)
+                self._trace.requeue(self.clock, self.rank,
+                                    victim.record.req_id)
+            if pc is not None and victim.cache_entry is not None:
+                pc.release(victim.cache_entry)
+                victim.cache_entry = None
+            victim.cached_tokens = 0
+            victim.kv_private = 0
+            self.kv_queued_bytes += victim.kv_bytes
+            self._enqueue(victim)
+
+    def _evict_entries(self, entries: Sequence[CacheEntry]) -> None:
+        """Execute a planned eviction list (children precede parents)."""
+        pc = self.prefix_cache
+        for entry in entries:
+            pc.evict(entry)
+            self.kv_used -= entry.owned_bytes
+            self.stats.cache_evictions += 1
+            if self._trace is not None:
+                self._trace.cache_evict(
+                    self.clock, self.rank, ":".join(map(str, entry.key)),
+                    entry.depth_tokens, entry.owned_bytes,
+                )
+
+    def _admit(self) -> None:
+        pc = self.prefix_cache
+        model = self.cache.model
+        while self.ready:
+            if len(self.running) + len(self.prefilling) >= self.config.max_batch:
+                break
+            key, seq, state = heapq.heappop(self.ready)
+            # Rejection ignores the cache on purpose: admission must
+            # stay feasible even if the hit is later evicted after a
+            # preemption, so the cache never changes *which* requests
+            # are servable, only how cheaply.
+            if state.kv_bytes > self.kv_capacity:
+                state.record.status = "rejected"
+                self.kv_queued_bytes -= state.kv_bytes
+                self.records.append(state.record)
+                if self._trace is not None:
+                    self._trace.reject(self.clock, self.rank,
+                                       state.record.req_id, state.kv_bytes)
+                continue
+            hit = pc.lookup(state.request) if pc is not None else None
+            cached = hit.depth_tokens if hit is not None else 0
+            need = state.kv_bytes - (
+                model.kv_cache_bytes(1, cached) if cached else 0
+            )
+            if self.kv_used + need > self.kv_capacity:
+                gap = self.kv_used + need - self.kv_capacity
+                plan: List[CacheEntry] = []
+                freed = 0
+                exclude: set = frozenset()
+                if pc is not None:
+                    exclude = pc.chain(hit)
+                    plan, freed = pc.plan_evictions(self.policy, gap, exclude)
+                if freed >= gap:
+                    # Eviction alone closes the gap: no preemption.
+                    self._evict_entries(plan)
+                else:
+                    victims = self.policy.select_victims(
+                        state, self.running, gap - freed
+                    )
+                    # Honor the policy contract: evict/preempt only if
+                    # that actually closes the KV gap — and evictions
+                    # always go first, leaving nothing reclaimable by
+                    # the time a victim is preempted.
+                    if victims and sum(
+                        v.kv_private for v in victims
+                    ) >= gap - freed:
+                        self._evict_entries(plan)
+                        evictable = (
+                            pc.evictable_bytes(exclude)
+                            if pc is not None and self._trace is not None
+                            else 0
+                        )
+                        self._preempt(victims, evictable)
+                    if self.kv_used + need > self.kv_capacity:
+                        # Same (key, seq): the candidate returns to its
+                        # slot (cache state may differ on the next try,
+                        # so the hit is re-resolved then).
+                        heapq.heappush(self.ready, (key, seq, state))
+                        break
+            self.kv_used += need
+            self.kv_queued_bytes -= state.kv_bytes
+            self.stats.kv_peak_bytes = max(self.stats.kv_peak_bytes, self.kv_used)
+            readmit = state.record.admit_s is not None
+            if not readmit:
+                state.record.admit_s = self.clock
+            else:
+                self.stats.requeues += 1
+                self.stats.recompute_tokens += (
+                    state.request.prompt_tokens + state.tokens_out
+                )
+            state.prefix_target = state.request.prompt_tokens + state.tokens_out
+            state.prefix_done = cached
+            state.cached_tokens = cached
+            state.kv_private = need
+            if pc is not None:
+                if hit is not None:
+                    pc.acquire(hit, self.clock)
+                    state.cache_entry = hit
+                if cached > 0:
+                    self.stats.cache_hits += 1
+                    self.stats.cache_hit_tokens += cached
+                else:
+                    self.stats.cache_misses += 1
+                if not readmit:
+                    state.record.cache_hit = cached > 0
+                    state.record.cached_tokens = cached
+            self.stats.kv_logical_bytes += state.kv_bytes
+            self.stats.kv_reserved_bytes += need
+            if self._trace is not None:
+                self._trace.admit(self.clock, self.rank, state.record.req_id,
+                                  need, self.kv_used, readmit,
+                                  state.prefix_target,
+                                  cached if pc is not None else -1,
+                                  state.kv_bytes)
+                if cached > 0:
+                    self._trace.cache_hit(
+                        self.clock, self.rank, state.record.req_id, cached,
+                        state.kv_bytes - need,
+                    )
+            self.prefilling.append(state)
+
+    # -- work stages ---------------------------------------------------------
+
+    def _prefill_stage(self) -> None:
+        still: List[_RequestState] = []
+        for state in self.prefilling:
+            remaining = state.prefix_target - state.prefix_done
+            chunk = min(self.policy.prefill_chunk(remaining), remaining)
+            latency, energy = self.cache.prefill_chunk(state.prefix_done, chunk)
+            if self._trace is not None:
+                self._trace.prefill_chunk_start(self.clock, self.rank,
+                                                state.record.req_id,
+                                                state.prefix_done, chunk)
+            self.clock += latency
+            self.stats.busy_s += latency
+            self.stats.energy_j += energy
+            self.stats.prefill_tokens += chunk
+            state.prefix_done += chunk
+            if self._trace is not None:
+                self._trace.prefill_chunk_end(self.clock, self.rank,
+                                              state.record.req_id, chunk,
+                                              latency, energy)
+            if state.prefix_done >= state.prefix_target:
+                self._retain_shared_prefix(state)
+                self.running.append(state)
+            else:
+                still.append(state)
+        self.prefilling = still
+
+    def _retain_shared_prefix(self, state: _RequestState) -> None:
+        """Publish a freshly prefilled system prompt into the cache.
+
+        Fires once per shared prefix per rank: the first request to
+        prefill a system prompt from scratch (no hit covered it) carves
+        the prompt's pages out of its private reservation into a
+        ``("sys", id)`` entry other sessions can resume from.  The bytes
+        merely change owner — ``kv_used`` is untouched.
+        """
+        pc = self.prefix_cache
+        request = state.request
+        if (
+            pc is None
+            or request.shared_prefix_id < 0
+            or state.cached_tokens >= request.shared_prefix_tokens
+        ):
+            return
+        key = ("sys", request.shared_prefix_id)
+        if pc.get(key) is not None:
+            return
+        owned = self.cache.model.kv_cache_bytes(1, request.shared_prefix_tokens)
+        entry = pc.insert(
+            key, request.shared_prefix_tokens, owned, None, self.clock
+        )
+        state.kv_private -= owned
+        pc.acquire(entry, self.clock)
+        state.cache_entry = entry
+
+    def _release_kv(self, state: _RequestState) -> None:
+        """Release a finished request's KV — or hand it to the cache.
+
+        A finished non-final turn donates its private pages as the
+        ``("sess", session, turn + 1)`` entry the session's next turn
+        resumes from (chained onto whatever prefix this turn resumed
+        from, so shared bytes stay counted once); everything else frees
+        its private reservation and drops its cache reference.
+        """
+        pc = self.prefix_cache
+        request = state.request
+        if (
+            pc is not None
+            and request.session_id >= 0
+            and not request.final_turn
+        ):
+            key = ("sess", request.session_id, request.turn + 1)
+            if pc.get(key) is None:
+                pc.insert(
+                    key, request.prompt_tokens + request.gen_tokens,
+                    state.kv_private, state.cache_entry, self.clock,
+                )
+                if state.cache_entry is not None:
+                    pc.release(state.cache_entry)
+                    state.cache_entry = None
+                state.kv_private = 0
+                return
+        self.kv_used -= state.kv_private
+        state.kv_private = 0
+        if pc is not None and state.cache_entry is not None:
+            pc.release(state.cache_entry)
+            state.cache_entry = None
+
+    def _decode_iteration(self) -> None:
+        latency, energy = self.cache.weight_step(len(self.running))
+        for state in self.running:
+            kv_len = state.request.prompt_tokens + state.tokens_out + 1
+            attn_latency, attn_energy = self.cache.attn_step(kv_len)
+            latency += attn_latency
+            energy += attn_energy
+        self.clock += latency
+        self.stats.busy_s += latency
+        self.stats.energy_j += energy
+        self.stats.decode_iterations += 1
+        trace = self._trace
+        if self._detail:
+            trace.decode_segment(self.clock, self.rank, len(self.running), 1,
+                                 latency, energy)
+        still_running: List[_RequestState] = []
+        for state in self.running:
+            state.tokens_out += 1
+            self.stats.output_tokens += 1
+            if state.tokens_out == 1:
+                state.record.first_token_s = self.clock
+                if trace is not None:
+                    trace.first_token(self.clock, self.rank,
+                                      state.record.req_id)
+            if state.tokens_out >= state.request.gen_tokens:
+                state.record.finish_s = self.clock
+                self._release_kv(state)
+                self.records.append(state.record)
+                if trace is not None:
+                    trace.finish(self.clock, self.rank, state.record.req_id,
+                                 state.tokens_out)
+            else:
+                still_running.append(state)
+        self.running = still_running
+
+    # -- event-driven decode segments -----------------------------------------
+
+    def _segment_latency(self, tokens: int) -> float:
+        """Closed-form latency of ``tokens`` decode iterations from here."""
+        total = tokens * self.cache.weight_step(len(self.running))[0]
+        for state in self.running:
+            kv = state.request.prompt_tokens + state.tokens_out
+            total += self.cache.attn_segment(kv + 1, kv + tokens)[0]
+        return total
+
+    def _cap_to_arrival(self, tokens: int) -> int:
+        """Truncate a segment at the next arrival's iteration boundary.
+
+        Returns the smallest iteration count whose closing clock is at
+        or past the next pending arrival (that is where the per-token
+        loop would first collect — and possibly admit — it), or
+        ``tokens`` unchanged when the arrival lands beyond the segment.
+        """
+        horizon = self.pending[0].request.arrival_s
+        if self.clock + self._segment_latency(tokens) < horizon:
+            return tokens
+        lo, hi = 1, tokens
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.clock + self._segment_latency(mid) >= horizon:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def _decode_segment(self) -> None:
+        """Advance the whole running batch to the next scheduler event.
+
+        Only called with an empty prefill stage, so the batch
+        composition is constant until the earliest completion — or, when
+        a batch slot is free (an arrival could be admitted mid-segment),
+        until the next pending arrival's iteration boundary.  Requests
+        that have not produced a token yet get their first-token stamp
+        from the segment's first iteration boundary, computed exactly
+        the way :meth:`_decode_iteration` would.
+        """
+        costing_t0 = perf_counter() if self.profiler is not None else 0.0
+        tokens = min(
+            state.request.gen_tokens - state.tokens_out for state in self.running
+        )
+        if (
+            tokens > 1
+            and self.pending
+            and len(self.running) < self.config.max_batch
+        ):
+            tokens = self._cap_to_arrival(tokens)
+        if tokens <= 1:
+            self._decode_iteration()
+            return
+        batch = len(self.running)
+        weight_latency, weight_energy = self.cache.weight_step(batch)
+        latency = tokens * weight_latency
+        energy = tokens * weight_energy
+        for state in self.running:
+            kv = state.request.prompt_tokens + state.tokens_out
+            attn_latency, attn_energy = self.cache.attn_segment(kv + 1, kv + tokens)
+            latency += attn_latency
+            energy += attn_energy
+        if self.profiler is not None:
+            self.profiler.add("segment_costing", perf_counter() - costing_t0)
+        if any(state.tokens_out == 0 for state in self.running):
+            # Clock after the segment's first iteration, accumulated in
+            # the same order as the per-token loop.
+            first_latency = weight_latency
+            for state in self.running:
+                kv = state.request.prompt_tokens + state.tokens_out + 1
+                first_latency += self.cache.attn_step(kv)[0]
+            first_boundary = self.clock + first_latency
+            trace = self._trace
+            for state in self.running:
+                if state.tokens_out == 0:
+                    state.record.first_token_s = first_boundary
+                    if trace is not None:
+                        trace.first_token(first_boundary, self.rank,
+                                          state.record.req_id)
+        self.clock += latency
+        self.stats.busy_s += latency
+        self.stats.energy_j += energy
+        self.stats.decode_iterations += tokens
+        self.stats.output_tokens += tokens * batch
+        trace = self._trace
+        if self._detail:
+            trace.decode_segment(self.clock, self.rank, batch, tokens,
+                                 latency, energy)
+        still_running: List[_RequestState] = []
+        for state in self.running:
+            state.tokens_out += tokens
+            if state.tokens_out >= state.request.gen_tokens:
+                state.record.finish_s = self.clock
+                self._release_kv(state)
+                self.records.append(state.record)
+                if trace is not None:
+                    trace.finish(self.clock, self.rank, state.record.req_id,
+                                 state.tokens_out)
+            else:
+                still_running.append(state)
+        self.running = still_running
+
+    # -- main loop -----------------------------------------------------------
+
+    def _step(self) -> None:
+        """One scheduler iteration: collect, admit, prefill, advance decode."""
+        prof = self.profiler
+        if prof is not None:
+            t0 = perf_counter()
+        self._collect_arrivals()
+        self._admit()
+        if self._detail:
+            self._trace.sample(self.clock, self.rank, self.kv_used,
+                               len(self.running), len(self.ready))
+        if prof is not None:
+            t1 = perf_counter()
+            prof.add("admission", t1 - t0)
+        self._prefill_stage()
+        if prof is not None:
+            t2 = perf_counter()
+            prof.add("prefill", t2 - t1)
+        if self.running:
+            if self._event_driven and not self.prefilling:
+                self._decode_segment()
+            else:
+                self._decode_iteration()
+            if prof is not None:
+                prof.add("decode", perf_counter() - t2)
+        elif not self.prefilling and self.pending:
+            # Idle: jump to the next arrival.
+            self.clock = max(self.clock, self.pending[0].request.arrival_s)
+
+    def run(self) -> Tuple[List[RequestRecord], RankStats]:
+        """Drain the engine (all requests known upfront) and finalize."""
+        while self.pending or self.ready or self.prefilling or self.running:
+            self._step()
+        self.finalize()
+        return self.records, self.stats

@@ -1,0 +1,156 @@
+"""Result records produced by serving simulations.
+
+:class:`RequestRecord` is the per-request outcome (timestamps plus the
+derived latency metrics), :class:`RankStats` the per-replica aggregate
+counters, and :class:`ServingResult` the bundle a whole simulation
+returns — the input type of :mod:`repro.serving.metrics` and of the
+cluster layer's per-deployment slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.serving.engine.config import ServingConfig
+
+__all__ = ["RequestRecord", "RankStats", "ServingResult"]
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one request: timestamps plus the derived serving metrics.
+
+    Timestamps are absolute simulation seconds; ``None`` until the event
+    happens (rejected requests never admit).  ``admit_s`` is the *first*
+    admission — a preempted request keeps it, and every eviction bumps
+    ``preemptions``.  ``cache_hit`` / ``cached_tokens`` describe the
+    prefix-cache outcome of that first admission (always miss/0 with the
+    cache disabled).
+    """
+
+    req_id: int
+    rank: int
+    arrival_s: float
+    prompt_tokens: int
+    gen_tokens: int
+    priority: int = 0
+    slo_ttft_s: float = 0.0
+    status: str = "completed"
+    admit_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    preemptions: int = 0
+    session_id: int = -1
+    turn: int = 0
+    cache_hit: bool = False
+    cached_tokens: int = 0
+
+    @property
+    def queue_s(self) -> float:
+        """Arrival-to-first-admission wait."""
+        return (self.admit_s - self.arrival_s) if self.admit_s is not None else 0.0
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token: arrival to the first generated token."""
+        return (
+            (self.first_token_s - self.arrival_s)
+            if self.first_token_s is not None
+            else 0.0
+        )
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency (arrival to last token)."""
+        return (self.finish_s - self.arrival_s) if self.finish_s is not None else 0.0
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token after the first (0 for 1-token requests)."""
+        if self.finish_s is None or self.first_token_s is None or self.gen_tokens < 2:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / (self.gen_tokens - 1)
+
+@dataclass
+class RankStats:
+    """Per-replica aggregate counters for one simulation."""
+
+    rank: int
+    finish_s: float = 0.0
+    busy_s: float = 0.0
+    energy_j: float = 0.0
+    prefill_tokens: int = 0
+    output_tokens: int = 0
+    decode_iterations: int = 0
+    preemptions: int = 0
+    requeues: int = 0
+    recompute_tokens: int = 0
+    kv_peak_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_hit_tokens: int = 0
+    kv_logical_bytes: int = 0
+    kv_reserved_bytes: int = 0
+    kv_final_bytes: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Busy share of the rank's active window."""
+        return self.busy_s / self.finish_s if self.finish_s > 0 else 0.0
+
+
+@dataclass
+class ServingResult:
+    """Everything a simulation produced, ready for metric aggregation."""
+
+    config: ServingConfig
+    records: List[RequestRecord]
+    rank_stats: List[RankStats]
+    kv_capacity_bytes: int
+    weight_bytes: int
+    #: Per-rank :class:`~repro.serving.engine.cache.PrefixCache`
+    #: instances at drain (empty when the cache is disabled, and for
+    #: replayed results).
+    prefix_caches: Tuple = ()
+
+    @property
+    def makespan_s(self) -> float:
+        """Time from trace start until the last rank goes idle."""
+        return max((rs.finish_s for rs in self.rank_stats), default=0.0)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Energy across every replica, in joules."""
+        return sum(rs.energy_j for rs in self.rank_stats)
+
+    @property
+    def output_tokens(self) -> int:
+        """Tokens generated across every replica."""
+        return sum(rs.output_tokens for rs in self.rank_stats)
+
+    @property
+    def prefill_tokens(self) -> int:
+        """Prompt (and recomputed prefix) tokens prefilled across replicas."""
+        return sum(rs.prefill_tokens for rs in self.rank_stats)
+
+    @property
+    def preemptions(self) -> int:
+        """KV-pressure evictions across every replica."""
+        return sum(rs.preemptions for rs in self.rank_stats)
+
+    @property
+    def cache_hits(self) -> int:
+        """Prefix-cache admission hits across every replica."""
+        return sum(rs.cache_hits for rs in self.rank_stats)
+
+    @property
+    def cache_misses(self) -> int:
+        """Prefix-cache admission misses across every replica."""
+        return sum(rs.cache_misses for rs in self.rank_stats)
+
+    @property
+    def cache_evictions(self) -> int:
+        """Prefix-cache entry evictions across every replica."""
+        return sum(rs.cache_evictions for rs in self.rank_stats)

@@ -9,7 +9,12 @@ dicts the :mod:`repro.experiments.io` writers consume:
   plus one per rank) enriched with energy, utilization and throughput
   from the per-rank counters,
 * :func:`summary` — a single flat dict for JSON payloads and quick
-  assertions.
+  assertions,
+* :func:`cluster_rows` / :func:`cluster_summary` — the cluster-level
+  equivalents: one row per deployment of a
+  :class:`~repro.serving.cluster.ClusterResult` (feeding
+  :func:`repro.experiments.tables.cluster_table`) and one flat
+  cluster-wide dict computed in a single pass over all records.
 
 Metrics glossary (all times in seconds):
 
@@ -35,10 +40,16 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.experiments.tables import safe_ratio, serving_table
+from repro.experiments.tables import percentile, safe_ratio, serving_table
 from repro.serving.scheduler import ServingResult
 
-__all__ = ["record_rows", "metrics_table", "summary"]
+__all__ = [
+    "record_rows",
+    "metrics_table",
+    "summary",
+    "cluster_rows",
+    "cluster_summary",
+]
 
 
 def record_rows(result: ServingResult) -> List[dict]:
@@ -166,3 +177,91 @@ def summary(result: ServingResult) -> dict:
         }
     )
     return row
+
+
+def cluster_rows(result) -> List[dict]:
+    """One flat summary row per deployment of a cluster run.
+
+    ``result`` is a :class:`~repro.serving.cluster.ClusterResult`.  Each
+    row is the deployment's ordinary :func:`summary` (its slice of the
+    run is a full ServingResult) extended with the cluster-level keys —
+    deployment name, tier, routed count, replica counts and scale
+    events — in the shape
+    :func:`repro.experiments.tables.cluster_table` consumes.
+    """
+    rows = []
+    for dep in result.deployments:
+        row = summary(dep.serving)
+        row.update(
+            {
+                "deployment": dep.name,
+                "tier": dep.tier,
+                "routed": dep.routed,
+                "replicas": dep.replicas_final,
+                "replicas_peak": dep.replicas_peak,
+                "scale_ups": dep.scale_ups,
+                "scale_downs": dep.scale_downs,
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def cluster_summary(result) -> dict:
+    """Flat cluster-wide summary in one pass over all request records.
+
+    Percentiles are computed over *completed* requests across every
+    deployment (unlike the aggregate row of
+    :func:`~repro.experiments.tables.cluster_table`, which cannot
+    re-derive them from per-deployment rows).  Built directly from the
+    records rather than via :func:`serving_table` so million-request
+    cluster benches skip the per-rank row machinery.
+    """
+    ttfts: List[float] = []
+    latencies: List[float] = []
+    rejected = 0
+    slo_requests = 0
+    slo_met = 0
+    for rec in result.records:
+        if rec.status == "completed":
+            ttfts.append(rec.ttft_s)
+            latencies.append(rec.latency_s)
+            if rec.slo_ttft_s > 0:
+                slo_requests += 1
+                slo_met += rec.ttft_s <= rec.slo_ttft_s
+        else:
+            rejected += 1
+            if rec.slo_ttft_s > 0:
+                slo_requests += 1
+    makespan = result.makespan_s
+    output_tokens = result.output_tokens
+    energy = result.total_energy_j
+    return {
+        "router": result.router,
+        "deployments": len(result.deployments),
+        "replicas": sum(d.replicas_final for d in result.deployments),
+        "replicas_peak": sum(d.replicas_peak for d in result.deployments),
+        "requests": len(ttfts) + rejected,
+        "completed": len(ttfts),
+        "rejected": rejected,
+        "routed": sum(d.routed for d in result.deployments),
+        "preemptions": sum(
+            d.serving.preemptions for d in result.deployments
+        ),
+        "slo_requests": slo_requests,
+        "slo_attainment": safe_ratio(slo_met, slo_requests, default=1.0),
+        "ttft_p50_s": percentile(ttfts, 50),
+        "ttft_p95_s": percentile(ttfts, 95),
+        "ttft_p99_s": percentile(ttfts, 99),
+        "latency_p95_s": percentile(latencies, 95),
+        "output_tokens": output_tokens,
+        "output_tokens_per_s": safe_ratio(output_tokens, makespan),
+        "energy_j": energy,
+        "energy_mj_per_token": safe_ratio(1e3 * energy, output_tokens),
+        "makespan_s": makespan,
+        "scale_ups": sum(d.scale_ups for d in result.deployments),
+        "scale_downs": sum(d.scale_downs for d in result.deployments),
+        "scale_events": len(result.scale_events),
+        "cold_start_s": result.cold_start_s,
+        "cold_start_bytes": result.cold_start_bytes,
+    }

@@ -1,121 +1,52 @@
-"""Request-level serving simulator with continuous batching.
+"""Stable import path for the serving engine (re-export shim).
 
-The simulator schedules a trace of inference requests onto the UPMEM
-substrate the way a production serving stack would:
+The request-level serving simulator originally lived here as one
+module; it is now the layered :mod:`repro.serving.engine` package
+(``config`` / ``cache`` / ``records`` / ``costs`` / ``rank_engine`` /
+``driver`` — see that package's docstring for the module map and the
+scheduling semantics).  This shim re-exports the full public surface —
+plus the private engine internals some tests and the replay oracle
+reach for — so every pre-split import keeps working unchanged:
+
+>>> from repro.serving.scheduler import ServingConfig, simulate_trace
+>>> ServingConfig().engine
+'event'
+
+A quick tour of the simulated semantics (details on the classes):
 
 * **Per-rank sharding** — the deployment is ``num_ranks`` model
-  replicas, each a full rank of ``dpus_per_rank`` DPUs holding its own
-  copy of the packed weights; requests are assigned round-robin in
-  arrival order and served entirely by their rank.
-* **Continuous batching** — each rank runs an iteration loop: newly
-  arrived requests are admitted between iterations, prefilled, and then
-  join the running decode batch, so short requests drain without
-  waiting for long ones (no static batch barrier).  One decode
-  iteration advances *every* running request by one token: the four
-  weight GEMMs run once, batched over the ``B`` running sequences
-  (``M = B`` rows), while each request pays its own two attention
-  matmuls at its current KV length.
-* **Event-driven decode** — between consecutive scheduler events (next
-  arrival, prefill completion, chunk boundary, earliest request finish,
-  preemption trigger) the running batch's composition is constant, so
-  the default ``engine="event"`` advances every running request by the
-  whole multi-token segment in one closed-form evaluation
-  (:func:`~repro.model.cost.decode_segment_stats` is the model-level
-  equivalent) instead of looping token by token.  Segment boundaries
-  are chosen so the event engine visits exactly the scheduling
-  decisions the per-token loop would: segments end at the earliest
-  completion in the batch, and — whenever a batch slot is free, so an
-  arrival could actually be admitted — at the first iteration boundary
-  at or past the next pending arrival (found by bisecting the
-  closed-form segment latency).  ``engine="loop"`` retains the
-  per-token reference walk; both engines produce identical metrics up
-  to float-summation rounding (scheduling decisions, counts and event
-  orderings are identical; see ``tests/test_serving_engines.py``).
-  Policy hooks are assumed pure (the loop engine re-evaluates
-  ``select_victims`` every iteration, the event engine once per
-  segment boundary — for deterministic policies the outcomes agree).
-* **Pluggable scheduling** — *which* waiting request is admitted next,
-  whether KV pressure may preempt running requests, and how prefills
-  are chunked are all decided by a
-  :class:`~repro.serving.policy.SchedulingPolicy`
-  (``fcfs`` / ``sjf`` / ``priority`` / ``chunked_prefill``; see
-  :mod:`repro.serving.policy`).  FCFS reproduces the original
-  hard-coded behavior exactly.
-* **KV-cache admission & preemption** — a request reserves
-  ``kv_cache_bytes(1, prompt + gen)`` of the rank's MRAM at admission
-  (what remains of ``dpus_per_rank x mram_bytes`` after the packed
-  weights); when the reservation does not fit, the policy may preempt
-  running victims (their KV is dropped, they re-queue, and on
-  re-admission they recompute their whole prefix — prompt plus tokens
-  already generated — as a fresh prefill charged through
-  :func:`~repro.model.cost.model_inference_cost`), otherwise admission
-  stalls until running requests complete.  A request that can never
-  fit is rejected up front.
-* **KV prefix cache** — with ``prefix_cache=True`` each rank keeps a
-  :class:`PrefixCache` of refcounted KV prefixes: a finished
-  non-final turn retains its KV pages for the session's next turn, and
-  the first prefill of a shared system prompt retains the prompt's
-  pages for other sessions.  A hit admits at the cost of only the
-  uncached suffix (``prefill_chunk_stats`` over the tail, KV
-  reservation for the new bytes only — shared pages count **once**
-  against the MRAM budget).  Under KV pressure, LRU eviction over
-  refcount-zero, childless entries fires *before* preemption: victims
-  are consulted only for whatever gap eviction cannot close, an
-  explicit ordering contract pinned by the invariant suite.
-* **Observability hooks** — every scheduling decision (arrival,
-  admission, preemption, requeue, prefill chunk, first token, decode
-  advance, finish, rejection) is emitted through a
-  :class:`repro.obs.tracer.Tracer` when one is passed to
-  :func:`simulate_trace`; the default is no tracer at all, so the
-  untraced hot path pays one ``is not None`` branch per scheduler
-  event.  A :class:`repro.obs.profile.SelfProfiler` likewise times the
-  engine's own phases (admission, prefill, decode, closed-form segment
-  costing) in host wall-clock when requested.
-
-Iteration latency and energy come from the same closed-form cost spine
-as :func:`repro.model.cost.model_inference_cost` — per-batch weight-step
-stats from :func:`~repro.model.cost.decode_step_weight_stats`, per-KV
-attention stats via :func:`~repro.model.decoder.attention_gemm_costs`
-and prefill chunks via :func:`~repro.model.cost.prefill_chunk_stats` —
-memoised per batch size / prompt length / KV length, so thousand-request
-traces simulate in seconds.  Serving energy attributes each GEMM with
-its own DPU count (a per-component sum, marginally different from the
-phase-level attribution in :class:`~repro.pim.energy.EnergyModel`
-applied to merged stats).
+  replicas; requests are assigned by the routing layer's round-robin
+  policy in arrival order (session turns land on
+  ``session_id mod num_ranks``) and served entirely by their rank.
+* **Continuous batching** — each rank admits newly arrived requests
+  between iterations, prefills them (optionally chunked), and advances
+  every running request one token per iteration.
+* **Event-driven decode** — ``engine="event"`` advances the running
+  batch whole multi-token segments between scheduler events in closed
+  form; ``engine="loop"`` is the per-token reference walk.  Both
+  produce identical metrics up to float-summation rounding.
+* **Pluggable scheduling** — admission order, preemption victims and
+  prefill chunking come from a
+  :class:`~repro.serving.policy.SchedulingPolicy`.
+* **KV admission & preemption** — requests reserve their full KV
+  footprint at admission; under pressure the policy may preempt
+  (victims requeue and recompute their prefix) or the request stalls;
+  impossible requests are rejected up front.
+* **KV prefix cache** — ``prefix_cache=True`` retains finished turns'
+  and shared system prompts' KV for cheap re-admission, with LRU
+  eviction firing strictly before preemption.
+* **Observability** — every scheduling decision flows through an
+  optional :class:`repro.obs.tracer.Tracer`; a
+  :class:`repro.obs.profile.SelfProfiler` times the engine's own
+  phases.
 """
 
-from __future__ import annotations
-
-import bisect
-import heapq
-import inspect
-from collections import deque
-from dataclasses import dataclass
-from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
-
-from repro.kernels.cost import COST_KERNELS
-from repro.kernels.cost import _cached_naive_sum_k as _naive_sum_k_lru
-from repro.kernels.cost import _cached_naive_sum_n as _naive_sum_n_lru
-
-# The cost cache memoises sums locally by integer KV keys, so the lru
-# layer (whose frozen-dataclass keys re-hash the whole timing config per
-# lookup) only adds overhead — call the undecorated bodies directly.
-_naive_sum_n = _naive_sum_n_lru.__wrapped__
-_naive_sum_k = _naive_sum_k_lru.__wrapped__
-from repro.model.config import ModelConfig, get_model_config
-from repro.model.cost import (
-    decode_step_weight_stats,
-    policy_weight_bytes,
-    prefill_chunk_stats,
-)
-from repro.model.decoder import ATTENTION_SCHEME
-from repro.model.policy import SchemePolicy
-from repro.quant.schemes import resolve_scheme
-from repro.pim.energy import EnergyModel
-from repro.pim.upmem import ExecutionStats, UpmemConfig, UpmemSystem
-from repro.serving.policy import POLICIES, SchedulingPolicy, get_policy
-from repro.serving.trace import Request
+from repro.serving.engine.cache import CacheEntry, PrefixCache
+from repro.serving.engine.config import ENGINES, ServingConfig
+from repro.serving.engine.costs import _CostCache
+from repro.serving.engine.driver import simulate_trace
+from repro.serving.engine.rank_engine import _RankEngine, _RequestState
+from repro.serving.engine.records import RankStats, RequestRecord, ServingResult
 
 __all__ = [
     "ENGINES",
@@ -127,1156 +58,3 @@ __all__ = [
     "ServingResult",
     "simulate_trace",
 ]
-
-#: Decode-advance strategies accepted by :class:`ServingConfig`: the
-#: default event-driven closed-form segments, or the per-token
-#: reference loop.
-ENGINES = ("event", "loop")
-
-
-@dataclass
-class CacheEntry:
-    """One retained KV prefix in a rank's :class:`PrefixCache`.
-
-    ``key`` identifies the token prefix — ``("sys", prefix_id)`` for a
-    shared system prompt, ``("sess", session_id, turn)`` for the full
-    context a session's next ``turn`` resumes from.  ``owned_bytes`` is
-    only this entry's tail beyond its ``parent``; the bytes of a cached
-    depth are the sum over the parent chain, so shared pages are counted
-    once no matter how many sessions chain off them.  ``refcount``
-    counts *requests* currently resuming from the entry, ``children``
-    counts chained entries; an entry is evictable only when both are
-    zero (LRU by ``last_used_s``, insertion ``seq`` as the tie-break).
-    """
-
-    key: Tuple
-    depth_tokens: int
-    owned_bytes: int
-    parent: Optional["CacheEntry"]
-    refcount: int = 0
-    children: int = 0
-    last_used_s: float = 0.0
-    seq: int = 0
-
-
-class PrefixCache:
-    """Refcounted per-rank cache of KV prefixes (radix-tree-lite).
-
-    Entries form parent chains (system prompt → session turns) rather
-    than a full radix tree: the workload only ever extends a prefix at
-    its tip, so each entry owns its tail bytes and pins its parent via
-    ``children``.  ``total_bytes`` is the cache's share of the rank's
-    ``kv_used`` accounting — transferred in from finished requests, out
-    on eviction, never double-counted.
-    """
-
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple, CacheEntry] = {}
-        self.total_bytes = 0
-        self._seq = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def entries(self) -> List[CacheEntry]:
-        """All live entries (insertion order; test/introspection helper)."""
-        return list(self._entries.values())
-
-    def get(self, key: Tuple) -> Optional[CacheEntry]:
-        """The entry stored under ``key``, or None."""
-        return self._entries.get(key)
-
-    def lookup(self, request: Request) -> Optional[CacheEntry]:
-        """Deepest cached prefix of ``request``'s prompt, if any.
-
-        A session's next turn resumes from the full prior context when
-        the previous turn finished in time; otherwise (and for first
-        turns) the shared system prompt alone may still hit.
-        """
-        if request.session_id >= 0 and request.turn > 0:
-            hit = self._entries.get(("sess", request.session_id, request.turn))
-            if hit is not None:
-                return hit
-        if request.shared_prefix_id >= 0:
-            return self._entries.get(("sys", request.shared_prefix_id))
-        return None
-
-    def insert(
-        self,
-        key: Tuple,
-        depth_tokens: int,
-        owned_bytes: int,
-        parent: Optional[CacheEntry],
-        now_s: float,
-    ) -> CacheEntry:
-        """Insert a new entry owning ``owned_bytes`` beyond ``parent``.
-
-        Pins the parent (``children`` += 1) and adds the owned tail to
-        ``total_bytes``; raises ``ValueError`` on a duplicate key.
-        """
-        if key in self._entries:
-            raise ValueError(f"cache entry {key!r} already present")
-        entry = CacheEntry(
-            key=key, depth_tokens=depth_tokens, owned_bytes=owned_bytes,
-            parent=parent, last_used_s=now_s, seq=self._seq,
-        )
-        self._seq += 1
-        if parent is not None:
-            parent.children += 1
-        self._entries[key] = entry
-        self.total_bytes += owned_bytes
-        return entry
-
-    def acquire(self, entry: CacheEntry, now_s: float) -> None:
-        """Pin ``entry`` for a request and refresh its LRU timestamp."""
-        entry.refcount += 1
-        entry.last_used_s = now_s
-
-    def release(self, entry: CacheEntry) -> None:
-        """Drop one request reference; raises if already at zero."""
-        if entry.refcount <= 0:
-            raise ValueError(f"cache entry {entry.key!r} released below zero")
-        entry.refcount -= 1
-
-    def refcount_total(self) -> int:
-        """Sum of request references across entries (0 once drained)."""
-        return sum(e.refcount for e in self._entries.values())
-
-    @staticmethod
-    def chain(entry: Optional[CacheEntry]) -> set:
-        """ids of ``entry`` and its ancestors (the eviction-exempt set)."""
-        out = set()
-        while entry is not None:
-            out.add(id(entry))
-            entry = entry.parent
-        return out
-
-    def evictable(self, exclude: set = frozenset()) -> List[CacheEntry]:
-        """Immediately evictable entries in LRU order.
-
-        Refcount-zero, childless, and outside ``exclude`` (the candidate
-        request's own hit chain).  If this list is empty, no entry is
-        reclaimable even transitively — parents only unpin after a
-        childless descendant goes first.
-        """
-        return sorted(
-            (
-                e for e in self._entries.values()
-                if e.refcount == 0 and e.children == 0 and id(e) not in exclude
-            ),
-            key=lambda e: (e.last_used_s, e.seq),
-        )
-
-    def evictable_bytes(self, exclude: set = frozenset()) -> int:
-        """Bytes reclaimable right now — 0 whenever preemption fires."""
-        return sum(e.owned_bytes for e in self.evictable(exclude))
-
-    def plan_evictions(
-        self,
-        policy: SchedulingPolicy,
-        need_bytes: int,
-        exclude: set = frozenset(),
-    ) -> Tuple[List[CacheEntry], int]:
-        """Plan (without executing) evictions freeing ``need_bytes``.
-
-        Repeatedly offers the policy the currently-evictable entries in
-        LRU order (simulating the child-release of already-planned
-        evictions, so a whole refcount-zero session chain can be
-        reclaimed tip-first in one plan) until the need is met or
-        nothing more is reclaimable.  Returns the planned entries in
-        eviction order and the bytes they free.
-        """
-        planned: List[CacheEntry] = []
-        planned_ids: set = set()
-        released: Dict[int, int] = {}
-        freed = 0
-        while freed < need_bytes:
-            candidates = sorted(
-                (
-                    e for e in self._entries.values()
-                    if id(e) not in planned_ids and id(e) not in exclude
-                    and e.refcount == 0
-                    and e.children - released.get(id(e), 0) == 0
-                ),
-                key=lambda e: (e.last_used_s, e.seq),
-            )
-            if not candidates:
-                break
-            chosen = policy.select_cache_evictions(candidates, need_bytes - freed)
-            if not chosen:
-                break
-            for entry in chosen:
-                if id(entry) in planned_ids:
-                    continue
-                planned.append(entry)
-                planned_ids.add(id(entry))
-                freed += entry.owned_bytes
-                if entry.parent is not None:
-                    parent_id = id(entry.parent)
-                    released[parent_id] = released.get(parent_id, 0) + 1
-        return planned, freed
-
-    def evict(self, entry: CacheEntry) -> None:
-        """Remove ``entry``, returning its owned bytes to the rank and
-        unpinning its parent; raises if still referenced or chained."""
-        if entry.refcount or entry.children:
-            raise ValueError(
-                f"cache entry {entry.key!r} still referenced "
-                f"(refcount={entry.refcount}, children={entry.children})"
-            )
-        del self._entries[entry.key]
-        self.total_bytes -= entry.owned_bytes
-        if entry.parent is not None:
-            entry.parent.children -= 1
-
-
-@dataclass(frozen=True)
-class ServingConfig:
-    """Deployment and scheduling knobs for one serving simulation.
-
-    Attributes
-    ----------
-    model / scheme / kernel:
-        Workload: model-config name, ``WxAy`` scheme for the weight
-        projections, and the weight-GEMM kernel.
-    num_ranks:
-        Model replicas (one UPMEM rank each); requests shard across them.
-    dpus_per_rank:
-        DPUs (and MRAM banks) per replica.
-    max_batch:
-        Concurrent decoding requests per rank.
-    policy:
-        Scheduling-policy name from :data:`repro.serving.policy.POLICIES`
-        (``fcfs`` / ``sjf`` / ``priority`` / ``chunked_prefill``).
-    prefill_chunk_tokens:
-        Per-iteration prefill token budget used by the
-        ``chunked_prefill`` policy (ignored by the others).
-    engine:
-        Decode-advance strategy from :data:`ENGINES`: the default
-        ``"event"`` (closed-form multi-token segments between scheduler
-        events) or the per-token reference ``"loop"``.
-    prefix_cache:
-        Enable the per-rank KV :class:`PrefixCache` (off by default;
-        when off the simulator is bit-identical to the pre-cache
-        behavior).
-    """
-
-    model: str = "gpt-350m"
-    scheme: str = "W1A3"
-    kernel: str = "lut_gemm"
-    num_ranks: int = 4
-    dpus_per_rank: int = 64
-    max_batch: int = 16
-    policy: str = "fcfs"
-    prefill_chunk_tokens: int = 32
-    engine: str = "event"
-    prefix_cache: bool = False
-
-    def __post_init__(self) -> None:
-        if self.kernel not in COST_KERNELS:
-            raise ValueError(
-                f"unknown kernel {self.kernel!r}; expected one of {COST_KERNELS}"
-            )
-        if self.engine not in ENGINES:
-            raise ValueError(
-                f"unknown serving engine {self.engine!r}; expected one of {ENGINES}"
-            )
-        if self.policy not in POLICIES:
-            raise ValueError(
-                f"unknown scheduling policy {self.policy!r}; expected one of "
-                f"{tuple(sorted(POLICIES))}"
-            )
-        for name in ("num_ranks", "dpus_per_rank", "max_batch",
-                     "prefill_chunk_tokens"):
-            if getattr(self, name) < 1:
-                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
-
-    def make_policy(self) -> SchedulingPolicy:
-        """Instantiate this config's scheduling policy.
-
-        ``prefill_chunk_tokens`` is forwarded to any registered policy
-        whose constructor takes a ``chunk_tokens`` option.
-        """
-        cls = POLICIES[self.policy]
-        if "chunk_tokens" in inspect.signature(cls).parameters:
-            return get_policy(self.policy, chunk_tokens=self.prefill_chunk_tokens)
-        return get_policy(self.policy)
-
-
-@dataclass
-class RequestRecord:
-    """Outcome of one request: timestamps plus the derived serving metrics.
-
-    Timestamps are absolute simulation seconds; ``None`` until the event
-    happens (rejected requests never admit).  ``admit_s`` is the *first*
-    admission — a preempted request keeps it, and every eviction bumps
-    ``preemptions``.  ``cache_hit`` / ``cached_tokens`` describe the
-    prefix-cache outcome of that first admission (always miss/0 with the
-    cache disabled).
-    """
-
-    req_id: int
-    rank: int
-    arrival_s: float
-    prompt_tokens: int
-    gen_tokens: int
-    priority: int = 0
-    slo_ttft_s: float = 0.0
-    status: str = "completed"
-    admit_s: Optional[float] = None
-    first_token_s: Optional[float] = None
-    finish_s: Optional[float] = None
-    preemptions: int = 0
-    session_id: int = -1
-    turn: int = 0
-    cache_hit: bool = False
-    cached_tokens: int = 0
-
-    @property
-    def queue_s(self) -> float:
-        """Arrival-to-first-admission wait."""
-        return (self.admit_s - self.arrival_s) if self.admit_s is not None else 0.0
-
-    @property
-    def ttft_s(self) -> float:
-        """Time to first token: arrival to the first generated token."""
-        return (
-            (self.first_token_s - self.arrival_s)
-            if self.first_token_s is not None
-            else 0.0
-        )
-
-    @property
-    def latency_s(self) -> float:
-        """End-to-end request latency (arrival to last token)."""
-        return (self.finish_s - self.arrival_s) if self.finish_s is not None else 0.0
-
-    @property
-    def tpot_s(self) -> float:
-        """Time per output token after the first (0 for 1-token requests)."""
-        if self.finish_s is None or self.first_token_s is None or self.gen_tokens < 2:
-            return 0.0
-        return (self.finish_s - self.first_token_s) / (self.gen_tokens - 1)
-
-@dataclass
-class RankStats:
-    """Per-replica aggregate counters for one simulation."""
-
-    rank: int
-    finish_s: float = 0.0
-    busy_s: float = 0.0
-    energy_j: float = 0.0
-    prefill_tokens: int = 0
-    output_tokens: int = 0
-    decode_iterations: int = 0
-    preemptions: int = 0
-    requeues: int = 0
-    recompute_tokens: int = 0
-    kv_peak_bytes: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_evictions: int = 0
-    cache_hit_tokens: int = 0
-    kv_logical_bytes: int = 0
-    kv_reserved_bytes: int = 0
-    kv_final_bytes: int = 0
-
-    @property
-    def utilization(self) -> float:
-        """Busy share of the rank's active window."""
-        return self.busy_s / self.finish_s if self.finish_s > 0 else 0.0
-
-
-@dataclass
-class ServingResult:
-    """Everything a simulation produced, ready for metric aggregation."""
-
-    config: ServingConfig
-    records: List[RequestRecord]
-    rank_stats: List[RankStats]
-    kv_capacity_bytes: int
-    weight_bytes: int
-    #: Per-rank :class:`PrefixCache` instances at drain (empty when the
-    #: cache is disabled, and for replayed results).
-    prefix_caches: Tuple = ()
-
-    @property
-    def makespan_s(self) -> float:
-        """Time from trace start until the last rank goes idle."""
-        return max((rs.finish_s for rs in self.rank_stats), default=0.0)
-
-    @property
-    def total_energy_j(self) -> float:
-        """Energy across every replica, in joules."""
-        return sum(rs.energy_j for rs in self.rank_stats)
-
-    @property
-    def output_tokens(self) -> int:
-        """Tokens generated across every replica."""
-        return sum(rs.output_tokens for rs in self.rank_stats)
-
-    @property
-    def prefill_tokens(self) -> int:
-        """Prompt (and recomputed prefix) tokens prefilled across replicas."""
-        return sum(rs.prefill_tokens for rs in self.rank_stats)
-
-    @property
-    def preemptions(self) -> int:
-        """KV-pressure evictions across every replica."""
-        return sum(rs.preemptions for rs in self.rank_stats)
-
-    @property
-    def cache_hits(self) -> int:
-        """Prefix-cache admission hits across every replica."""
-        return sum(rs.cache_hits for rs in self.rank_stats)
-
-    @property
-    def cache_misses(self) -> int:
-        """Prefix-cache admission misses across every replica."""
-        return sum(rs.cache_misses for rs in self.rank_stats)
-
-    @property
-    def cache_evictions(self) -> int:
-        """Prefix-cache entry evictions across every replica."""
-        return sum(rs.cache_evictions for rs in self.rank_stats)
-
-
-class _CostCache:
-    """Memoised (latency, energy) scalars for the engine's cost queries.
-
-    One instance per simulation: distinct prefill-chunk shapes, batch
-    sizes and KV lengths each cost one analytical evaluation, after
-    which an engine iteration is a handful of dict lookups.  A whole
-    prompt is the ``(done=0, chunk=prompt)`` special case of a chunk,
-    bit-identical to the prefill phase of
-    :func:`~repro.model.cost.model_inference_cost`.
-
-    The event engine widens the per-iteration tables with a *segment*
-    table: a multi-token decode segment at batch ``B`` over per-request
-    KV ranges costs ``B`` lookups in the cumulative attention table
-    (:meth:`attn_cum`, keyed by KV depth; differences of cumulative
-    sums give any ``[kv_lo, kv_hi]`` range in O(1)) plus the
-    batch-keyed :meth:`weight_step` entry scaled by the segment length
-    — the memoisation key space is exactly (batch, KV-depth range).
-    """
-
-    def __init__(
-        self,
-        model: ModelConfig,
-        policy: SchemePolicy,
-        system: UpmemSystem,
-        kernel: str,
-        energy_model: EnergyModel,
-    ) -> None:
-        self.model = model
-        self.policy = policy
-        self.system = system
-        self.kernel = kernel
-        self.energy = energy_model
-        self._chunk: Dict[Tuple[int, int], Tuple[float, float]] = {}
-        self._weight_step: Dict[int, Tuple[float, float]] = {}
-        self._attn_step: Dict[int, Tuple[float, float]] = {}
-        # Cumulative attention scalars, keyed by KV depth.  Below
-        # ``_attn_cum_floor`` the attention matmuls' DPU count still
-        # grows with the KV length, so per-step energy attribution is
-        # not linear in the aggregated stats and the cumulative sum is
-        # built step by step; past the floor the DPU count is constant
-        # and whole ranges collapse to one closed-form evaluation.
-        self._attn_cum: Dict[int, Tuple[float, float]] = {0: (0.0, 0.0)}
-        self._attn_cum_floor = (
-            system.total_dpus if system.total_dpus > model.head_dim else 0
-        )
-        # Sorted constant-region keys of ``_attn_cum`` (plus 0), so a new
-        # cumulative entry extends from its nearest cached neighbour
-        # instead of re-summing the whole prefix.
-        self._attn_cum_keys: List[int] = [0]
-        # Attention matmuls are always costed on the naive int8-MAC path
-        # at ATTENTION_SCHEME precision; resolve once so cache misses
-        # call the shared cost functions directly (the public wrappers'
-        # per-call scheme/config resolution and defensive copies are
-        # measurable at event-engine miss rates).
-        self._attn_scheme = resolve_scheme(ATTENTION_SCHEME)
-
-    def _scalars(self, stats: ExecutionStats) -> Tuple[float, float]:
-        return stats.total_s, self.energy.total_j(stats)
-
-    def prefill_chunk(self, done_tokens: int, chunk_tokens: int) -> Tuple[float, float]:
-        """(latency_s, energy_j) of one prefill chunk after ``done_tokens``."""
-        key = (done_tokens, chunk_tokens)
-        hit = self._chunk.get(key)
-        if hit is None:
-            stats = prefill_chunk_stats(
-                self.model, self.policy, 1, done_tokens, chunk_tokens,
-                system=self.system, kernel=self.kernel,
-            )
-            hit = self._scalars(stats)
-            self._chunk[key] = hit
-        return hit
-
-    def weight_step(self, batch: int) -> Tuple[float, float]:
-        """(latency_s, energy_j) of one decode step's weight GEMMs at ``batch``."""
-        hit = self._weight_step.get(batch)
-        if hit is None:
-            stats = decode_step_weight_stats(
-                self.model, self.policy, batch, system=self.system, kernel=self.kernel
-            )
-            hit = self._scalars(stats)
-            self._weight_step[batch] = hit
-        return hit
-
-    def attn_step(self, kv_len: int) -> Tuple[float, float]:
-        """(latency_s, energy_j) of one request's attention at ``kv_len``.
-
-        Both attention matmuls for a single sequence, scaled to all
-        layers (attention shapes are layer-independent).
-        """
-        hit = self._attn_step.get(kv_len)
-        if hit is None:
-            # Single-term instance of the closed-form range sums: the
-            # same stats as costing both matmuls individually, without
-            # the per-call bank/buffer modelling objects.
-            heads, head_dim = self.model.num_heads, self.model.head_dim
-            config = self.system.config
-            per_layer = _naive_sum_n(
-                self._attn_scheme, heads, head_dim, kv_len, kv_len, config
-            ) + _naive_sum_k(
-                self._attn_scheme, heads, head_dim, kv_len, kv_len, config
-            )
-            hit = self._scalars(per_layer.scaled(self.model.num_layers))
-            self._attn_step[kv_len] = hit
-        return hit
-
-    def attn_cum(self, kv_len: int) -> Tuple[float, float]:
-        """Cumulative ``sum(attn_step(kv) for kv in [1, kv_len])`` scalars.
-
-        Matches the per-step sum the loop engine would accumulate
-        (latency to float rounding, energy attributed per step): below
-        :attr:`_attn_cum_floor` the sum extends step by step through the
-        memoised :meth:`attn_step` entries, above it whole tails come
-        from one :func:`~repro.model.cost.decode_attention_stats_sum`
-        evaluation (valid there because the attention DPU count — and
-        with it the energy model's per-DPU scaling — is constant).
-        """
-        hit = self._attn_cum.get(kv_len)
-        if hit is not None:
-            return hit
-        floor = self._attn_cum_floor
-        if kv_len <= floor:
-            start = kv_len
-            while start > 1 and (start - 1) not in self._attn_cum:
-                start -= 1
-            lat, energy = self._attn_cum[start - 1]
-            for kv in range(start, kv_len + 1):
-                step_lat, step_energy = self.attn_step(kv)
-                lat += step_lat
-                energy += step_energy
-                self._attn_cum[kv] = (lat, energy)
-            return self._attn_cum[kv_len]
-        keys = self._attn_cum_keys
-        base_key = keys[bisect.bisect_left(keys, kv_len) - 1]
-        if base_key < floor:
-            base_key = floor
-            base_lat, base_energy = self.attn_cum(floor)
-        else:
-            base_lat, base_energy = self._attn_cum[base_key]
-        # Equivalent of decode_attention_stats_sum(model, 1, base_key + 1,
-        # kv_len) scaled to all layers, via the shared cached sums.
-        heads, head_dim = self.model.num_heads, self.model.head_dim
-        config = self.system.config
-        tail = (
-            _naive_sum_n(
-                self._attn_scheme, heads, head_dim, base_key + 1, kv_len, config
-            )
-            + _naive_sum_k(
-                self._attn_scheme, heads, head_dim, base_key + 1, kv_len, config
-            )
-        ).scaled(self.model.num_layers)
-        hit = (base_lat + tail.total_s, base_energy + self.energy.total_j(tail))
-        self._attn_cum[kv_len] = hit
-        bisect.insort(keys, kv_len)
-        return hit
-
-    def attn_segment(self, kv_lo: int, kv_hi: int) -> Tuple[float, float]:
-        """(latency_s, energy_j) of one request's attention over a KV range.
-
-        The sum of :meth:`attn_step` for every ``kv`` in
-        ``[kv_lo, kv_hi]`` — the attention cost of one multi-token
-        decode segment — as a difference of two cumulative entries.
-        """
-        lo_lat, lo_energy = self.attn_cum(kv_lo - 1)
-        hi_lat, hi_energy = self.attn_cum(kv_hi)
-        return hi_lat - lo_lat, hi_energy - lo_energy
-
-
-@dataclass
-class _RequestState:
-    """Mutable per-request scheduling state inside a rank engine.
-
-    ``prefix_target`` / ``prefix_done`` track the prefix (prompt plus
-    any previously generated tokens after a preemption) that must be
-    prefilled before the request may decode again; a prefix-cache hit
-    pre-credits ``prefix_done`` so only the uncached tail is prefilled.
-    ``kv_bytes`` is the request's full logical KV footprint;
-    ``kv_private`` the bytes it actually reserved this admission (the
-    footprint minus the cached prefix — equal to ``kv_bytes`` whenever
-    the cache is off or missed).
-    """
-
-    request: Request
-    record: RequestRecord
-    kv_bytes: int
-    tokens_out: int = 0
-    prefix_target: int = 0
-    prefix_done: int = 0
-    cached_tokens: int = 0
-    kv_private: int = 0
-    cache_entry: Optional[CacheEntry] = None
-
-
-class _RankEngine:
-    """One replica's continuous-batching engine, driven by a policy."""
-
-    def __init__(
-        self,
-        rank: int,
-        requests: Sequence[Request],
-        cache: _CostCache,
-        config: ServingConfig,
-        kv_capacity: int,
-        policy: SchedulingPolicy,
-        tracer=None,
-        profiler=None,
-    ) -> None:
-        self.cache = cache
-        self.config = config
-        self.kv_capacity = kv_capacity
-        self.policy = policy
-        self.rank = rank
-        # Null-tracer fast path: a disabled (or absent) tracer is stored
-        # as None, so every hook site is one `is not None` branch.
-        self._trace = (
-            tracer if tracer is not None and tracer.enabled else None
-        )
-        self._detail = (
-            self._trace is not None and self._trace.wants_engine_detail
-        )
-        self.profiler = profiler
-        self.stats = RankStats(rank=rank)
-        self.records: List[RequestRecord] = []
-        model = cache.model
-        self.pending = deque(
-            _RequestState(
-                request=r,
-                record=RequestRecord(
-                    req_id=r.req_id, rank=rank, arrival_s=r.arrival_s,
-                    prompt_tokens=r.prompt_tokens, gen_tokens=r.gen_tokens,
-                    priority=r.priority, slo_ttft_s=r.slo_ttft_s,
-                    session_id=r.session_id, turn=r.turn,
-                ),
-                kv_bytes=model.kv_cache_bytes(1, r.prompt_tokens + r.gen_tokens),
-            )
-            for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-        )
-        self.ready: List[Tuple[Tuple, int, _RequestState]] = []
-        self.prefilling: List[_RequestState] = []
-        self.running: List[_RequestState] = []
-        self.clock = 0.0
-        self.kv_used = 0
-        self._seq = 0  # heap tie-break counter
-        self._event_driven = config.engine == "event"
-        self.prefix_cache = PrefixCache() if config.prefix_cache else None
-
-    # -- ready-queue helpers ------------------------------------------------
-
-    def _enqueue(self, state: _RequestState) -> None:
-        heapq.heappush(self.ready, (self.policy.admission_key(state), self._seq, state))
-        self._seq += 1
-
-    def _collect_arrivals(self) -> None:
-        while self.pending and self.pending[0].request.arrival_s <= self.clock:
-            state = self.pending.popleft()
-            if self._trace is not None:
-                self._trace.arrive(state.request.arrival_s, self.rank,
-                                   state.request)
-            self._enqueue(state)
-
-    # -- admission + preemption ---------------------------------------------
-
-    def _preempt(
-        self, victims: Sequence[_RequestState], evictable_bytes: int = 0
-    ) -> None:
-        pc = self.prefix_cache
-        for victim in victims:
-            self.running.remove(victim)
-            self.kv_used -= victim.kv_private
-            victim.record.preemptions += 1
-            self.stats.preemptions += 1
-            victim.prefix_done = 0
-            if self._trace is not None:
-                self._trace.preempt(self.clock, self.rank,
-                                    victim.record.req_id, victim.kv_private,
-                                    victim.tokens_out, evictable_bytes)
-                self._trace.requeue(self.clock, self.rank,
-                                    victim.record.req_id)
-            if pc is not None and victim.cache_entry is not None:
-                pc.release(victim.cache_entry)
-                victim.cache_entry = None
-            victim.cached_tokens = 0
-            victim.kv_private = 0
-            self._enqueue(victim)
-
-    def _evict_entries(self, entries: Sequence[CacheEntry]) -> None:
-        """Execute a planned eviction list (children precede parents)."""
-        pc = self.prefix_cache
-        for entry in entries:
-            pc.evict(entry)
-            self.kv_used -= entry.owned_bytes
-            self.stats.cache_evictions += 1
-            if self._trace is not None:
-                self._trace.cache_evict(
-                    self.clock, self.rank, ":".join(map(str, entry.key)),
-                    entry.depth_tokens, entry.owned_bytes,
-                )
-
-    def _admit(self) -> None:
-        pc = self.prefix_cache
-        model = self.cache.model
-        while self.ready:
-            if len(self.running) + len(self.prefilling) >= self.config.max_batch:
-                break
-            key, seq, state = heapq.heappop(self.ready)
-            # Rejection ignores the cache on purpose: admission must
-            # stay feasible even if the hit is later evicted after a
-            # preemption, so the cache never changes *which* requests
-            # are servable, only how cheaply.
-            if state.kv_bytes > self.kv_capacity:
-                state.record.status = "rejected"
-                self.records.append(state.record)
-                if self._trace is not None:
-                    self._trace.reject(self.clock, self.rank,
-                                       state.record.req_id, state.kv_bytes)
-                continue
-            hit = pc.lookup(state.request) if pc is not None else None
-            cached = hit.depth_tokens if hit is not None else 0
-            need = state.kv_bytes - (
-                model.kv_cache_bytes(1, cached) if cached else 0
-            )
-            if self.kv_used + need > self.kv_capacity:
-                gap = self.kv_used + need - self.kv_capacity
-                plan: List[CacheEntry] = []
-                freed = 0
-                exclude: set = frozenset()
-                if pc is not None:
-                    exclude = pc.chain(hit)
-                    plan, freed = pc.plan_evictions(self.policy, gap, exclude)
-                if freed >= gap:
-                    # Eviction alone closes the gap: no preemption.
-                    self._evict_entries(plan)
-                else:
-                    victims = self.policy.select_victims(
-                        state, self.running, gap - freed
-                    )
-                    # Honor the policy contract: evict/preempt only if
-                    # that actually closes the KV gap — and evictions
-                    # always go first, leaving nothing reclaimable by
-                    # the time a victim is preempted.
-                    if victims and sum(
-                        v.kv_private for v in victims
-                    ) >= gap - freed:
-                        self._evict_entries(plan)
-                        evictable = (
-                            pc.evictable_bytes(exclude)
-                            if pc is not None and self._trace is not None
-                            else 0
-                        )
-                        self._preempt(victims, evictable)
-                    if self.kv_used + need > self.kv_capacity:
-                        # Same (key, seq): the candidate returns to its
-                        # slot (cache state may differ on the next try,
-                        # so the hit is re-resolved then).
-                        heapq.heappush(self.ready, (key, seq, state))
-                        break
-            self.kv_used += need
-            self.stats.kv_peak_bytes = max(self.stats.kv_peak_bytes, self.kv_used)
-            readmit = state.record.admit_s is not None
-            if not readmit:
-                state.record.admit_s = self.clock
-            else:
-                self.stats.requeues += 1
-                self.stats.recompute_tokens += (
-                    state.request.prompt_tokens + state.tokens_out
-                )
-            state.prefix_target = state.request.prompt_tokens + state.tokens_out
-            state.prefix_done = cached
-            state.cached_tokens = cached
-            state.kv_private = need
-            if pc is not None:
-                if hit is not None:
-                    pc.acquire(hit, self.clock)
-                    state.cache_entry = hit
-                if cached > 0:
-                    self.stats.cache_hits += 1
-                    self.stats.cache_hit_tokens += cached
-                else:
-                    self.stats.cache_misses += 1
-                if not readmit:
-                    state.record.cache_hit = cached > 0
-                    state.record.cached_tokens = cached
-            self.stats.kv_logical_bytes += state.kv_bytes
-            self.stats.kv_reserved_bytes += need
-            if self._trace is not None:
-                self._trace.admit(self.clock, self.rank, state.record.req_id,
-                                  need, self.kv_used, readmit,
-                                  state.prefix_target,
-                                  cached if pc is not None else -1,
-                                  state.kv_bytes)
-                if cached > 0:
-                    self._trace.cache_hit(
-                        self.clock, self.rank, state.record.req_id, cached,
-                        state.kv_bytes - need,
-                    )
-            self.prefilling.append(state)
-
-    # -- work stages ---------------------------------------------------------
-
-    def _prefill_stage(self) -> None:
-        still: List[_RequestState] = []
-        for state in self.prefilling:
-            remaining = state.prefix_target - state.prefix_done
-            chunk = min(self.policy.prefill_chunk(remaining), remaining)
-            latency, energy = self.cache.prefill_chunk(state.prefix_done, chunk)
-            if self._trace is not None:
-                self._trace.prefill_chunk_start(self.clock, self.rank,
-                                                state.record.req_id,
-                                                state.prefix_done, chunk)
-            self.clock += latency
-            self.stats.busy_s += latency
-            self.stats.energy_j += energy
-            self.stats.prefill_tokens += chunk
-            state.prefix_done += chunk
-            if self._trace is not None:
-                self._trace.prefill_chunk_end(self.clock, self.rank,
-                                              state.record.req_id, chunk,
-                                              latency, energy)
-            if state.prefix_done >= state.prefix_target:
-                self._retain_shared_prefix(state)
-                self.running.append(state)
-            else:
-                still.append(state)
-        self.prefilling = still
-
-    def _retain_shared_prefix(self, state: _RequestState) -> None:
-        """Publish a freshly prefilled system prompt into the cache.
-
-        Fires once per shared prefix per rank: the first request to
-        prefill a system prompt from scratch (no hit covered it) carves
-        the prompt's pages out of its private reservation into a
-        ``("sys", id)`` entry other sessions can resume from.  The bytes
-        merely change owner — ``kv_used`` is untouched.
-        """
-        pc = self.prefix_cache
-        request = state.request
-        if (
-            pc is None
-            or request.shared_prefix_id < 0
-            or state.cached_tokens >= request.shared_prefix_tokens
-        ):
-            return
-        key = ("sys", request.shared_prefix_id)
-        if pc.get(key) is not None:
-            return
-        owned = self.cache.model.kv_cache_bytes(1, request.shared_prefix_tokens)
-        entry = pc.insert(
-            key, request.shared_prefix_tokens, owned, None, self.clock
-        )
-        state.kv_private -= owned
-        pc.acquire(entry, self.clock)
-        state.cache_entry = entry
-
-    def _release_kv(self, state: _RequestState) -> None:
-        """Release a finished request's KV — or hand it to the cache.
-
-        A finished non-final turn donates its private pages as the
-        ``("sess", session, turn + 1)`` entry the session's next turn
-        resumes from (chained onto whatever prefix this turn resumed
-        from, so shared bytes stay counted once); everything else frees
-        its private reservation and drops its cache reference.
-        """
-        pc = self.prefix_cache
-        request = state.request
-        if (
-            pc is not None
-            and request.session_id >= 0
-            and not request.final_turn
-        ):
-            key = ("sess", request.session_id, request.turn + 1)
-            if pc.get(key) is None:
-                pc.insert(
-                    key, request.prompt_tokens + request.gen_tokens,
-                    state.kv_private, state.cache_entry, self.clock,
-                )
-                if state.cache_entry is not None:
-                    pc.release(state.cache_entry)
-                    state.cache_entry = None
-                state.kv_private = 0
-                return
-        self.kv_used -= state.kv_private
-        state.kv_private = 0
-        if pc is not None and state.cache_entry is not None:
-            pc.release(state.cache_entry)
-            state.cache_entry = None
-
-    def _decode_iteration(self) -> None:
-        latency, energy = self.cache.weight_step(len(self.running))
-        for state in self.running:
-            kv_len = state.request.prompt_tokens + state.tokens_out + 1
-            attn_latency, attn_energy = self.cache.attn_step(kv_len)
-            latency += attn_latency
-            energy += attn_energy
-        self.clock += latency
-        self.stats.busy_s += latency
-        self.stats.energy_j += energy
-        self.stats.decode_iterations += 1
-        trace = self._trace
-        if self._detail:
-            trace.decode_segment(self.clock, self.rank, len(self.running), 1,
-                                 latency, energy)
-        still_running: List[_RequestState] = []
-        for state in self.running:
-            state.tokens_out += 1
-            self.stats.output_tokens += 1
-            if state.tokens_out == 1:
-                state.record.first_token_s = self.clock
-                if trace is not None:
-                    trace.first_token(self.clock, self.rank,
-                                      state.record.req_id)
-            if state.tokens_out >= state.request.gen_tokens:
-                state.record.finish_s = self.clock
-                self._release_kv(state)
-                self.records.append(state.record)
-                if trace is not None:
-                    trace.finish(self.clock, self.rank, state.record.req_id,
-                                 state.tokens_out)
-            else:
-                still_running.append(state)
-        self.running = still_running
-
-    # -- event-driven decode segments -----------------------------------------
-
-    def _segment_latency(self, tokens: int) -> float:
-        """Closed-form latency of ``tokens`` decode iterations from here."""
-        total = tokens * self.cache.weight_step(len(self.running))[0]
-        for state in self.running:
-            kv = state.request.prompt_tokens + state.tokens_out
-            total += self.cache.attn_segment(kv + 1, kv + tokens)[0]
-        return total
-
-    def _cap_to_arrival(self, tokens: int) -> int:
-        """Truncate a segment at the next arrival's iteration boundary.
-
-        Returns the smallest iteration count whose closing clock is at
-        or past the next pending arrival (that is where the per-token
-        loop would first collect — and possibly admit — it), or
-        ``tokens`` unchanged when the arrival lands beyond the segment.
-        """
-        horizon = self.pending[0].request.arrival_s
-        if self.clock + self._segment_latency(tokens) < horizon:
-            return tokens
-        lo, hi = 1, tokens
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.clock + self._segment_latency(mid) >= horizon:
-                hi = mid
-            else:
-                lo = mid + 1
-        return lo
-
-    def _decode_segment(self) -> None:
-        """Advance the whole running batch to the next scheduler event.
-
-        Only called with an empty prefill stage, so the batch
-        composition is constant until the earliest completion — or, when
-        a batch slot is free (an arrival could be admitted mid-segment),
-        until the next pending arrival's iteration boundary.  Requests
-        that have not produced a token yet get their first-token stamp
-        from the segment's first iteration boundary, computed exactly
-        the way :meth:`_decode_iteration` would.
-        """
-        costing_t0 = perf_counter() if self.profiler is not None else 0.0
-        tokens = min(
-            state.request.gen_tokens - state.tokens_out for state in self.running
-        )
-        if (
-            tokens > 1
-            and self.pending
-            and len(self.running) < self.config.max_batch
-        ):
-            tokens = self._cap_to_arrival(tokens)
-        if tokens <= 1:
-            self._decode_iteration()
-            return
-        batch = len(self.running)
-        weight_latency, weight_energy = self.cache.weight_step(batch)
-        latency = tokens * weight_latency
-        energy = tokens * weight_energy
-        for state in self.running:
-            kv = state.request.prompt_tokens + state.tokens_out
-            attn_latency, attn_energy = self.cache.attn_segment(kv + 1, kv + tokens)
-            latency += attn_latency
-            energy += attn_energy
-        if self.profiler is not None:
-            self.profiler.add("segment_costing", perf_counter() - costing_t0)
-        if any(state.tokens_out == 0 for state in self.running):
-            # Clock after the segment's first iteration, accumulated in
-            # the same order as the per-token loop.
-            first_latency = weight_latency
-            for state in self.running:
-                kv = state.request.prompt_tokens + state.tokens_out + 1
-                first_latency += self.cache.attn_step(kv)[0]
-            first_boundary = self.clock + first_latency
-            trace = self._trace
-            for state in self.running:
-                if state.tokens_out == 0:
-                    state.record.first_token_s = first_boundary
-                    if trace is not None:
-                        trace.first_token(first_boundary, self.rank,
-                                          state.record.req_id)
-        self.clock += latency
-        self.stats.busy_s += latency
-        self.stats.energy_j += energy
-        self.stats.decode_iterations += tokens
-        self.stats.output_tokens += tokens * batch
-        trace = self._trace
-        if self._detail:
-            trace.decode_segment(self.clock, self.rank, batch, tokens,
-                                 latency, energy)
-        still_running: List[_RequestState] = []
-        for state in self.running:
-            state.tokens_out += tokens
-            if state.tokens_out >= state.request.gen_tokens:
-                state.record.finish_s = self.clock
-                self._release_kv(state)
-                self.records.append(state.record)
-                if trace is not None:
-                    trace.finish(self.clock, self.rank, state.record.req_id,
-                                 state.tokens_out)
-            else:
-                still_running.append(state)
-        self.running = still_running
-
-    # -- main loop -----------------------------------------------------------
-
-    def run(self) -> Tuple[List[RequestRecord], RankStats]:
-        prof = self.profiler
-        sampling = self._detail
-        while self.pending or self.ready or self.prefilling or self.running:
-            if prof is not None:
-                t0 = perf_counter()
-            self._collect_arrivals()
-            self._admit()
-            if sampling:
-                self._trace.sample(self.clock, self.rank, self.kv_used,
-                                   len(self.running), len(self.ready))
-            if prof is not None:
-                t1 = perf_counter()
-                prof.add("admission", t1 - t0)
-            self._prefill_stage()
-            if prof is not None:
-                t2 = perf_counter()
-                prof.add("prefill", t2 - t1)
-            if self.running:
-                if self._event_driven and not self.prefilling:
-                    self._decode_segment()
-                else:
-                    self._decode_iteration()
-                if prof is not None:
-                    prof.add("decode", perf_counter() - t2)
-            elif not self.prefilling and self.pending:
-                # Idle: jump to the next arrival.
-                self.clock = max(self.clock, self.pending[0].request.arrival_s)
-        self.stats.finish_s = self.clock
-        # Whatever KV is still reserved at drain belongs to the cache
-        # (every request released or donated its private pages).
-        self.stats.kv_final_bytes = self.kv_used
-        return self.records, self.stats
-
-
-def simulate_trace(
-    trace: Sequence[Request],
-    config: Optional[ServingConfig] = None,
-    scheme_policy: Optional[SchemePolicy] = None,
-    energy_model: Optional[EnergyModel] = None,
-    sched_policy: Optional[SchedulingPolicy] = None,
-    tracer=None,
-    profiler=None,
-) -> ServingResult:
-    """Simulate serving ``trace`` under ``config``; returns the full result.
-
-    Requests are assigned to rank replicas round-robin in arrival order
-    — except session turns, which all land on ``session_id mod
-    num_ranks`` so a rank's prefix cache can serve the whole
-    conversation; each replica then runs its continuous-batching engine
-    independently (replicas share nothing but the host).  ``scheme_policy`` defaults
-    to the uniform ``config.scheme`` quantization policy;
-    ``sched_policy`` overrides the scheduling policy named by
-    ``config.policy`` (useful for pre-configured policy instances).
-    ``tracer`` (a :class:`repro.obs.tracer.Tracer`, e.g. the recording
-    tracer) receives every engine lifecycle event; ``profiler`` (a
-    :class:`repro.obs.profile.SelfProfiler`) accumulates the engines'
-    own wall-clock phase times.  Both default to off with no hot-path
-    cost beyond one branch per scheduler event.
-
-    Raises
-    ------
-    ValueError
-        If the packed weights of the model/policy do not leave any MRAM
-        for KV cache on a replica.
-    """
-    config = config if config is not None else ServingConfig()
-    model = get_model_config(config.model)
-    scheme_policy = (
-        scheme_policy if scheme_policy is not None else SchemePolicy(config.scheme)
-    )
-    energy_model = energy_model if energy_model is not None else EnergyModel()
-    sched_policy = sched_policy if sched_policy is not None else config.make_policy()
-    system = UpmemSystem(
-        UpmemConfig(num_ranks=1, dpus_per_rank=config.dpus_per_rank)
-    )
-    weight_bytes = policy_weight_bytes(model, scheme_policy)
-    mram_total = config.dpus_per_rank * system.timings.mram_bytes
-    kv_capacity = mram_total - weight_bytes
-    if kv_capacity <= 0:
-        raise ValueError(
-            f"packed weights ({weight_bytes} B) exceed a replica's MRAM "
-            f"({mram_total} B); use more DPUs per rank or a narrower scheme"
-        )
-    cache = _CostCache(model, scheme_policy, system, config.kernel, energy_model)
-
-    shards: List[List[Request]] = [[] for _ in range(config.num_ranks)]
-    ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
-    for i, request in enumerate(ordered):
-        if request.session_id >= 0:
-            shards[request.session_id % config.num_ranks].append(request)
-        else:
-            shards[i % config.num_ranks].append(request)
-
-    records: List[RequestRecord] = []
-    rank_stats: List[RankStats] = []
-    prefix_caches: List[Optional[PrefixCache]] = []
-    for rank, shard in enumerate(shards):
-        engine = _RankEngine(rank, shard, cache, config, kv_capacity,
-                             sched_policy, tracer=tracer, profiler=profiler)
-        shard_records, shard_stats = engine.run()
-        records.extend(shard_records)
-        rank_stats.append(shard_stats)
-        if engine.prefix_cache is not None:
-            prefix_caches.append(engine.prefix_cache)
-    records.sort(key=lambda rec: rec.req_id)
-    return ServingResult(
-        config=config,
-        records=records,
-        rank_stats=rank_stats,
-        kv_capacity_bytes=kv_capacity,
-        weight_bytes=weight_bytes,
-        prefix_caches=tuple(prefix_caches),
-    )

@@ -1,0 +1,93 @@
+"""API-surface pin: the monolith split must not drop public names.
+
+``repro.serving.scheduler`` became a re-export shim over the
+``repro.serving.engine`` package; these tests freeze the import
+contract so downstream code (and the goldens) keep working against
+either module path.
+"""
+
+import importlib
+
+import pytest
+
+SCHEDULER_EXPORTS = (
+    "ENGINES",
+    "CacheEntry",
+    "PrefixCache",
+    "ServingConfig",
+    "RequestRecord",
+    "RankStats",
+    "ServingResult",
+    "simulate_trace",
+)
+
+PACKAGE_EXPORTS = SCHEDULER_EXPORTS + (
+    # trace + policy layers
+    "Request",
+    "TraceSpec",
+    "SCENARIOS",
+    "generate_trace",
+    "trace_rows",
+    "rows_to_trace",
+    "POLICIES",
+    "SchedulingPolicy",
+    "get_policy",
+    # routing layer
+    "ROUTERS",
+    "RoutingPolicy",
+    "RoundRobinRouter",
+    "LeastKvRouter",
+    "P2cRouter",
+    "SloAffinityRouter",
+    "get_router",
+    # cluster layer
+    "Deployment",
+    "DeploymentResult",
+    "Cluster",
+    "ClusterResult",
+    "simulate_cluster",
+    "Autoscaler",
+    "AutoscalerConfig",
+    # metrics + CLI
+    "record_rows",
+    "metrics_table",
+    "summary",
+    "cluster_rows",
+    "cluster_summary",
+    "build_parser",
+    "main",
+)
+
+
+@pytest.mark.parametrize("name", SCHEDULER_EXPORTS)
+def test_scheduler_shim_exports(name):
+    module = importlib.import_module("repro.serving.scheduler")
+    assert hasattr(module, name)
+    assert name in module.__all__
+
+
+@pytest.mark.parametrize("name", PACKAGE_EXPORTS)
+def test_package_exports(name):
+    module = importlib.import_module("repro.serving")
+    assert hasattr(module, name)
+    assert name in module.__all__
+
+
+def test_shim_and_engine_are_same_objects():
+    shim = importlib.import_module("repro.serving.scheduler")
+    engine = importlib.import_module("repro.serving.engine")
+    for name in SCHEDULER_EXPORTS:
+        assert getattr(shim, name) is getattr(engine, name)
+
+
+def test_engine_package_layout():
+    for submodule in ("cache", "config", "costs", "driver", "records",
+                      "rank_engine"):
+        importlib.import_module(f"repro.serving.engine.{submodule}")
+
+
+def test_private_engine_names_still_reachable():
+    # The experiment layer and tests reach for the private spine.
+    shim = importlib.import_module("repro.serving.scheduler")
+    for name in ("_CostCache", "_RankEngine", "_RequestState"):
+        assert hasattr(shim, name)

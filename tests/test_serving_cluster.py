@@ -1,0 +1,364 @@
+"""Cluster layer: routing invariants across seeds, autoscaler accounting,
+session stickiness, observability and the cluster tables."""
+
+import pytest
+
+from repro.experiments.tables import cluster_table
+from repro.obs import RecordingTracer
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.tracer import CLUSTER_KINDS, EVENT_KINDS, LIFECYCLE_KINDS
+from repro.pim.transfer import TransferModel
+from repro.serving import (
+    Autoscaler,
+    AutoscalerConfig,
+    Cluster,
+    Deployment,
+    RoutingPolicy,
+    ServingConfig,
+    TraceSpec,
+    cluster_rows,
+    cluster_summary,
+    generate_trace,
+    simulate_cluster,
+    simulate_trace,
+)
+
+SEEDS = (3, 11, 29)
+ROUTER_NAMES = ("round_robin", "least_kv", "p2c", "slo_affinity")
+
+
+def _trace(seed, requests=96, rate=10.0, scenario="bursty"):
+    return generate_trace(TraceSpec(
+        num_requests=requests, seed=seed, scenario=scenario,
+        arrival_rate_per_s=rate, priority_weights=(1.0, 1.0),
+    ))
+
+
+def _roomy_deployments():
+    """Heterogeneous but generously provisioned: nothing is ever
+    rejected, so every router must complete the same request set."""
+    return [
+        Deployment(ServingConfig(model="gpt-125m", num_ranks=2), name="a",
+                   tier=0),
+        Deployment(ServingConfig(model="gpt-350m", num_ranks=2), name="b",
+                   tier=1),
+        Deployment(ServingConfig(model="gpt-125m", num_ranks=1), name="c",
+                   tier=0),
+    ]
+
+
+def _starved_deployments():
+    """KV-starved and uneven: load-aware routing has room to win."""
+    return [
+        Deployment(ServingConfig(model="gpt-125m", num_ranks=1,
+                                 dpus_per_rank=8), name="tight", tier=0),
+        Deployment(ServingConfig(model="gpt-125m", num_ranks=2,
+                                 dpus_per_rank=16), name="mid", tier=1),
+        Deployment(ServingConfig(model="gpt-125m", num_ranks=2,
+                                 dpus_per_rank=64), name="roomy", tier=0),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# conservation + cross-router invariants
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("router", ROUTER_NAMES)
+@pytest.mark.parametrize("mk_deps", [_roomy_deployments, _starved_deployments],
+                         ids=["roomy", "starved"])
+def test_request_conservation(seed, router, mk_deps):
+    trace = _trace(seed)
+    result = simulate_cluster(trace, mk_deps(), router=router)
+    assert result.requests == len(trace)
+    assert {rec.req_id for rec in result.records} == \
+        {r.req_id for r in trace}
+    assert sum(dep.routed for dep in result.deployments) == len(trace)
+    assert result.completed + result.rejected == result.requests
+    for rec in result.records:
+        assert rec.status in ("completed", "rejected")
+        if rec.status == "completed":
+            assert rec.finish_s >= rec.arrival_s
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_roomy_cluster_completes_everything_under_every_router(seed):
+    trace = _trace(seed)
+    completed_sets = []
+    for router in ROUTER_NAMES:
+        result = simulate_cluster(trace, _roomy_deployments(), router=router)
+        assert result.rejected == 0
+        completed_sets.append(
+            {rec.req_id for rec in result.records
+             if rec.status == "completed"}
+        )
+    assert all(s == completed_sets[0] for s in completed_sets)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_least_kv_no_worse_p95_ttft_on_starved_cluster(seed):
+    trace = _trace(seed, requests=128, rate=16.0)
+    rr = cluster_summary(
+        simulate_cluster(trace, _starved_deployments(), router="round_robin")
+    )
+    lk = cluster_summary(
+        simulate_cluster(trace, _starved_deployments(), router="least_kv")
+    )
+    assert lk["ttft_p95_s"] <= rr["ttft_p95_s"]
+
+
+def test_single_deployment_round_robin_matches_driver():
+    # One deployment under the stateless router is exactly the driver's
+    # legacy rank sharding (non-session trace), timestamps and all.
+    trace = _trace(5, requests=64)
+    config = ServingConfig(model="gpt-125m", num_ranks=3)
+    single = simulate_trace(trace, config)
+    clustered = simulate_cluster(
+        trace, [Deployment(config, name="only")], router="round_robin"
+    )
+    key = lambda r: (r.req_id, r.rank, r.status, r.admit_s,
+                     r.first_token_s, r.finish_s)
+    assert list(map(key, single.records)) == \
+        list(map(key, clustered.records))
+
+
+def test_session_turns_stick_to_one_replica():
+    # Short prompts/gens keep the deepest carried context inside the
+    # per-bank working set (same caveat as the conversational CLI
+    # example).
+    trace = generate_trace(TraceSpec(
+        num_requests=80, seed=7, scenario="conversational",
+        prompt_mean=32.0, prompt_max=64, gen_mean=16.0, gen_max=32,
+    ))
+    result = simulate_cluster(trace, _roomy_deployments(),
+                              router="round_robin")
+    by_session = {}
+    for rec in result.records:
+        if rec.session_id >= 0:
+            by_session.setdefault(rec.session_id, set()).add(rec.rank)
+    assert by_session
+    for ranks in by_session.values():
+        assert len(ranks) == 1
+
+
+def test_cluster_rejects_empty_deployment_list():
+    with pytest.raises(ValueError, match="at least one deployment"):
+        Cluster([])
+
+
+def test_cluster_rejects_out_of_range_router_target():
+    class Broken(RoutingPolicy):
+        name = "broken"
+
+        def select(self, request, targets):
+            return len(targets)
+
+    with pytest.raises(ValueError, match="invalid target"):
+        simulate_cluster(_trace(1, requests=4), _roomy_deployments(),
+                         router=Broken())
+
+
+def test_deployment_rejects_weights_larger_than_mram():
+    with pytest.raises(ValueError, match="packed weights"):
+        Deployment(ServingConfig(model="gpt-6.7b", num_ranks=1,
+                                 dpus_per_rank=1))
+
+
+# ---------------------------------------------------------------------------
+# autoscaler
+# ---------------------------------------------------------------------------
+
+def _backlogged_cluster(queue=24):
+    deployment = Deployment(
+        ServingConfig(model="gpt-125m", num_ranks=1), name="hot"
+    )
+    cluster = Cluster([deployment], router="round_robin")
+    for request in _trace(2, requests=queue, rate=1000.0):
+        deployment.submit(request)
+    return cluster, deployment
+
+
+def test_scale_up_charges_weight_broadcast():
+    scaler = Autoscaler(AutoscalerConfig(queue_high=2.0, interval_s=1.0))
+    cluster, deployment = _backlogged_cluster()
+    scaler.control(0.0, cluster)
+    assert deployment.scale_ups == 1
+    expected = TransferModel().broadcast_s(deployment.weight_bytes)
+    assert scaler.cold_start_s == pytest.approx(expected)
+    assert scaler.cold_start_bytes == deployment.weight_bytes
+    event = scaler.scale_events[0]
+    assert event["action"] == "scale_up"
+    assert event["cold_start_s"] == pytest.approx(expected)
+    assert event["weight_bytes"] == deployment.weight_bytes
+
+
+def test_scale_up_replica_ready_after_cold_start():
+    scaler = Autoscaler(AutoscalerConfig(queue_high=2.0, interval_s=1.0))
+    cluster, deployment = _backlogged_cluster()
+    scaler.control(5.0, cluster)
+    new_engine = deployment.engines[-1]
+    assert new_engine.clock == pytest.approx(
+        5.0 + scaler.cold_start_s_for(deployment)
+    )
+
+
+def test_scale_up_respects_max_replicas():
+    scaler = Autoscaler(AutoscalerConfig(max_replicas=2, queue_high=1.5,
+                                         queue_low=0.5, interval_s=0.5))
+    cluster, deployment = _backlogged_cluster()
+    for step in range(6):
+        scaler.control(float(step), cluster)
+    assert len(deployment.active_engines()) <= 2
+    assert deployment.scale_ups == 1
+
+
+def test_scale_down_retires_idle_replica_only():
+    scaler = Autoscaler(AutoscalerConfig(queue_high=50.0, queue_low=5.0,
+                                         interval_s=1.0))
+    deployment = Deployment(
+        ServingConfig(model="gpt-125m", num_ranks=3), name="cold"
+    )
+    cluster = Cluster([deployment], router="round_robin")
+    scaler.control(0.0, cluster)
+    assert deployment.scale_downs == 1
+    assert len(deployment.active_engines()) == 2
+    retired = [e for e in deployment.engines if e.retired]
+    assert len(retired) == 1 and not retired[0].has_work
+
+
+def test_no_scale_down_below_min_replicas():
+    scaler = Autoscaler(AutoscalerConfig(min_replicas=2, queue_high=50.0,
+                                         queue_low=5.0, interval_s=1.0))
+    deployment = Deployment(
+        ServingConfig(model="gpt-125m", num_ranks=2), name="floor"
+    )
+    cluster = Cluster([deployment], router="round_robin")
+    for step in range(4):
+        scaler.control(float(step), cluster)
+    assert len(deployment.active_engines()) == 2
+    assert deployment.scale_downs == 0
+
+
+def test_control_rate_limited_to_interval():
+    scaler = Autoscaler(AutoscalerConfig(queue_high=2.0, interval_s=10.0))
+    cluster, deployment = _backlogged_cluster()
+    scaler.control(0.0, cluster)
+    scaler.control(5.0, cluster)  # within the interval: no-op
+    assert deployment.scale_ups == 1
+    scaler.control(10.0, cluster)
+    assert deployment.scale_ups == 2
+
+
+def test_end_to_end_autoscaled_run_has_scale_events():
+    scaler = Autoscaler(AutoscalerConfig(max_replicas=3, queue_high=2.0,
+                                         interval_s=1.0))
+    trace = _trace(9, requests=96, rate=30.0)
+    result = simulate_cluster(trace, _starved_deployments(),
+                              router="round_robin", autoscaler=scaler)
+    assert result.requests == len(trace)
+    assert result.scale_events
+    assert result.cold_start_s > 0
+    ups = sum(1 for e in result.scale_events if e["action"] == "scale_up")
+    assert result.cold_start_bytes == sum(
+        e["weight_bytes"] for e in result.scale_events
+        if e["action"] == "scale_up"
+    )
+    assert ups == sum(d.scale_ups for d in result.deployments)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"min_replicas": 0},
+    {"max_replicas": 1, "min_replicas": 2},
+    {"queue_low": -1.0},
+    {"queue_high": 1.0, "queue_low": 1.0},
+    {"interval_s": 0.0},
+])
+def test_autoscaler_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        AutoscalerConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+
+def test_cluster_kinds_registered_but_not_lifecycle():
+    for kind in CLUSTER_KINDS:
+        assert kind in EVENT_KINDS
+        assert kind not in LIFECYCLE_KINDS
+
+
+def test_tracer_records_route_and_scale_events():
+    tracer = RecordingTracer()
+    scaler = Autoscaler(AutoscalerConfig(max_replicas=3, queue_high=2.0,
+                                         interval_s=1.0))
+    trace = _trace(4, requests=48, rate=30.0)
+    simulate_cluster(trace, _starved_deployments(), router="least_kv",
+                     autoscaler=scaler, tracer=tracer)
+    routes = [e for e in tracer.events if e.kind == "route"]
+    assert len(routes) == len(trace)
+    assert tracer.registry.counter("routes").value == len(trace)
+    assert {e.req_id for e in routes} == {r.req_id for r in trace}
+    for event in routes:
+        assert event.rank == -1
+        assert event.data["router"] == "least_kv"
+    ups = [e for e in tracer.events if e.kind == "scale_up"]
+    assert len(ups) == len(scaler.scale_events) - sum(
+        1 for e in scaler.scale_events if e["action"] == "scale_down"
+    )
+    assert tracer.registry.counter("scale_ups").value == len(ups)
+
+
+def test_chrome_trace_with_cluster_events_validates():
+    tracer = RecordingTracer()
+    scaler = Autoscaler(AutoscalerConfig(max_replicas=2, queue_high=2.0,
+                                         interval_s=1.0))
+    trace = _trace(6, requests=32, rate=30.0)
+    simulate_cluster(trace, _starved_deployments(), router="round_robin",
+                     autoscaler=scaler, tracer=tracer)
+    payload = chrome_trace(tracer.events, tracer.registry)
+    validate_chrome_trace(payload)
+    instants = {e["name"] for e in payload["traceEvents"]
+                if e["ph"] == "i" and e["pid"] == -1}
+    assert "route" in instants
+    cluster_lane = [e for e in payload["traceEvents"]
+                    if e.get("pid") == -1 and e["ph"] == "M"]
+    labels = {e["args"]["name"] for e in cluster_lane}
+    assert labels == {"cluster", "router"}
+
+
+# ---------------------------------------------------------------------------
+# metrics + tables
+# ---------------------------------------------------------------------------
+
+def test_cluster_rows_and_table_shape():
+    trace = _trace(8, requests=64)
+    result = simulate_cluster(trace, _roomy_deployments(), router="p2c")
+    rows = cluster_rows(result)
+    assert [row["deployment"] for row in rows] == ["a", "b", "c"]
+    for row in rows:
+        for key in ("tier", "routed", "replicas", "replicas_peak",
+                    "scale_ups", "scale_downs", "requests", "completed"):
+            assert key in row
+    table = cluster_table(rows)
+    assert table[0]["deployment"] == "cluster"
+    assert table[0]["routed"] == len(trace)
+    assert table[0]["requests"] == sum(row["requests"] for row in rows)
+    assert table[0]["routed_share"] == 1.0
+    shares = [row["routed_share"] for row in table[1:]]
+    assert sum(shares) == pytest.approx(1.0)
+
+
+def test_cluster_summary_totals():
+    trace = _trace(8, requests=64)
+    result = simulate_cluster(trace, _roomy_deployments(),
+                              router="round_robin")
+    flat = cluster_summary(result)
+    assert flat["requests"] == len(trace)
+    assert flat["completed"] + flat["rejected"] == len(trace)
+    assert flat["deployments"] == 3
+    assert flat["replicas"] == 5
+    assert flat["router"] == "round_robin"
+    assert flat["output_tokens"] == result.output_tokens
+    assert flat["makespan_s"] == pytest.approx(result.makespan_s)
+    assert flat["scale_events"] == 0

@@ -5,12 +5,13 @@ Seeds the repo's performance trajectory: runs (a) a model-level sweep,
 (b) the decode cost in both aggregation modes (loop vs closed form),
 (c) a 1000-request serving trace on gpt-1.3b, (d) the four scheduling
 policies on a bursty long-prefill trace, (e) the event-driven serving
-engine against the per-token loop engine on a long-generation trace
-and (f) a 100k-request bursty scaling trace, then writes the
-wall-clock numbers, simulated throughput and the policy-comparison
-table — plus environment metadata (python / platform / git SHA / UTC
-timestamp) so trajectories are comparable across machines — to
-``BENCH_serving.json``.
+engine against the per-token loop engine on a long-generation trace,
+(f) a 100k-request bursty scaling trace and (g) a 1M-request cluster
+run across eight heterogeneous deployments (plus a router comparison
+and an autoscaled run), then writes the wall-clock numbers, simulated
+throughput and the policy-comparison table — plus environment metadata
+(python / platform / git SHA / UTC timestamp) so trajectories are
+comparable across machines — to ``BENCH_serving.json``.
 
 Usage::
 
@@ -22,7 +23,9 @@ speedup over the loop engine falls below 10x at 1000 requests, if the
 100k-request scaling run misses its budget, if a disabled tracer slows
 the 100k scaling run beyond its overhead floor, or if the
 chunked-prefill policy stops beating FCFS p95 TTFT on the bursty
-long-prefill scenario (or drops completed requests), so CI catches
+long-prefill scenario (or drops completed requests), if the 1M-request
+cluster run misses its 300 s budget or loses requests, or if the
+autoscaled cluster run produces no scale events, so CI catches
 performance and scheduling-quality regressions on the serving path.
 """
 
@@ -46,6 +49,10 @@ SCALING_REQUESTS = 100_000
 SCALING_BUDGET_S = 180.0
 CACHE_REQUESTS = 2000
 CACHE_HIT_RATE_FLOOR = 0.5
+CLUSTER_REQUESTS = 1_000_000
+CLUSTER_BUDGET_S = 300.0
+CLUSTER_ROUTER_REQUESTS = 100_000
+CLUSTER_AUTOSCALE_REQUESTS = 100_000
 OBS_TRACED_REQUESTS = 20_000
 # The tracing-disabled hot path is intended to cost a few percent at
 # most; the gate leaves headroom for shared-runner wall-clock noise.
@@ -353,6 +360,110 @@ def bench_policies() -> dict:
     }
 
 
+def _cluster_deployments():
+    """Eight heterogeneous deployments in two model tiers."""
+    from repro.serving import Deployment, ServingConfig
+
+    return [
+        Deployment(ServingConfig(model="gpt-125m", num_ranks=2),
+                   name=f"small-{i}", tier=0)
+        for i in range(4)
+    ] + [
+        Deployment(ServingConfig(model="gpt-350m", num_ranks=2),
+                   name=f"mid-{i}", tier=1)
+        for i in range(4)
+    ]
+
+
+def bench_cluster() -> dict:
+    """Multi-deployment cluster serving: scale, routers, autoscaling.
+
+    Three measurements: (a) the headline 1M-request bursty trace routed
+    round-robin across eight heterogeneous deployments (two model
+    tiers, sixteen rank replicas) under a 300 s wall budget; (b) a
+    100k-request router comparison (round_robin / least_kv / p2c) on
+    the same deployment mix; (c) a 100k-request autoscaled run whose
+    queue-driven controller must produce scale events, each scale-up
+    charged as a weight broadcast.  Every run must conserve requests —
+    a record for each trace entry, completed or rejected, none lost.
+    """
+    from repro.serving import (
+        Autoscaler, AutoscalerConfig, TraceSpec, cluster_summary,
+        generate_trace, simulate_cluster,
+    )
+
+    spec = TraceSpec(
+        num_requests=CLUSTER_REQUESTS, seed=0, scenario="bursty",
+        arrival_rate_per_s=64.0, burst_rate_multiplier=8.0,
+    )
+    trace, trace_wall = _timed(lambda: generate_trace(spec))
+    deployments = _cluster_deployments()
+    result, wall = _timed(
+        lambda: simulate_cluster(trace, deployments, router="round_robin")
+    )
+    flat = cluster_summary(result)
+
+    sub = trace[:CLUSTER_ROUTER_REQUESTS]
+    comparison = []
+    for router in ("round_robin", "least_kv", "p2c"):
+        sub_result, sub_wall = _timed(
+            lambda: simulate_cluster(sub, _cluster_deployments(),
+                                     router=router)
+        )
+        row = cluster_summary(sub_result)
+        comparison.append({
+            "router": router,
+            "requests": len(sub),
+            "lost": len(sub) - sub_result.requests,
+            "completed": row["completed"],
+            "rejected": row["rejected"],
+            "ttft_p50_s": row["ttft_p50_s"],
+            "ttft_p95_s": row["ttft_p95_s"],
+            "latency_p95_s": row["latency_p95_s"],
+            "simulated_makespan_s": row["makespan_s"],
+            "wall_s": sub_wall,
+        })
+
+    scaler = Autoscaler(AutoscalerConfig(
+        max_replicas=4, queue_high=8.0, queue_low=1.0, interval_s=30.0,
+    ))
+    auto_trace = trace[:CLUSTER_AUTOSCALE_REQUESTS]
+    auto_result, auto_wall = _timed(
+        lambda: simulate_cluster(auto_trace, _cluster_deployments(),
+                                 router="round_robin", autoscaler=scaler)
+    )
+    auto = cluster_summary(auto_result)
+
+    return {
+        "requests": CLUSTER_REQUESTS,
+        "deployments": len(result.deployments),
+        "replicas": flat["replicas"],
+        "router": "round_robin",
+        "trace_wall_s": trace_wall,
+        "wall_s": wall,
+        "wall_budget_s": CLUSTER_BUDGET_S,
+        "lost": CLUSTER_REQUESTS - result.requests,
+        "completed": flat["completed"],
+        "rejected": flat["rejected"],
+        "simulated_makespan_s": flat["makespan_s"],
+        "simulated_output_tokens": flat["output_tokens"],
+        "requests_per_wall_s": CLUSTER_REQUESTS / wall if wall else 0.0,
+        "router_comparison": comparison,
+        "autoscale": {
+            "requests": len(auto_trace),
+            "lost": len(auto_trace) - auto_result.requests,
+            "completed": auto["completed"],
+            "wall_s": auto_wall,
+            "scale_events": auto["scale_events"],
+            "scale_ups": auto["scale_ups"],
+            "scale_downs": auto["scale_downs"],
+            "replicas_peak": auto["replicas_peak"],
+            "cold_start_s": auto["cold_start_s"],
+            "cold_start_bytes": auto["cold_start_bytes"],
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_serving.json", metavar="PATH")
@@ -371,6 +482,7 @@ def main(argv=None) -> int:
         "observability": bench_observability(scaling_entry["wall_s"]),
         "policies": bench_policies(),
         "prefix_cache": bench_prefix_cache(),
+        "cluster": bench_cluster(),
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -383,6 +495,7 @@ def main(argv=None) -> int:
     obs = payload["observability"]
     policies = payload["policies"]
     cache = payload["prefix_cache"]
+    cluster = payload["cluster"]
     print(f"sweep: {payload['sweep']['wall_s']:.3f} s "
           f"({payload['sweep']['grid_points']} point(s))")
     print(f"decode closed-form: {decode['closed_form_wall_s']*1e3:.1f} ms "
@@ -406,6 +519,10 @@ def main(argv=None) -> int:
           f"{cache['kv_dedup_factor']:.2f}x, p95 TTFT "
           f"{cache['ttft_p95_speedup']:.3f}x vs cache-off at "
           f"{cache['requests']} conversational requests")
+    print(f"cluster: {cluster['requests']} requests across "
+          f"{cluster['deployments']} deployments in {cluster['wall_s']:.1f} s "
+          f"wall ({cluster['requests_per_wall_s']:.0f} requests/s); "
+          f"autoscale {cluster['autoscale']['scale_events']} scale event(s)")
     print(f"wrote {args.output}")
 
     if args.check:
@@ -484,6 +601,31 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: prefix cache changed the completed set "
                 f"({cache['completed_on']} on vs {cache['completed_off']} off)",
+                file=sys.stderr,
+            )
+            return 1
+        if cluster["wall_s"] > CLUSTER_BUDGET_S:
+            print(
+                f"FAIL: {cluster['requests']}-request cluster trace took "
+                f"{cluster['wall_s']:.1f} s (> {CLUSTER_BUDGET_S} s budget)",
+                file=sys.stderr,
+            )
+            return 1
+        lost_runs = [("headline", cluster["lost"])] + [
+            (row["router"], row["lost"])
+            for row in cluster["router_comparison"]
+        ] + [("autoscale", cluster["autoscale"]["lost"])]
+        for run, lost in lost_runs:
+            if lost != 0:
+                print(
+                    f"FAIL: cluster run {run!r} lost {lost} request(s) "
+                    f"(every trace entry must produce a record)",
+                    file=sys.stderr,
+                )
+                return 1
+        if cluster["autoscale"]["scale_events"] == 0:
+            print(
+                "FAIL: the autoscaled cluster run produced no scale events",
                 file=sys.stderr,
             )
             return 1
