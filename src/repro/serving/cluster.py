@@ -44,6 +44,7 @@ from repro.pim.energy import EnergyModel
 from repro.pim.upmem import UpmemConfig, UpmemSystem
 from repro.serving.engine.config import ServingConfig
 from repro.serving.engine.costs import _CostCache
+from repro.serving.engine.driver import make_engine
 from repro.serving.engine.rank_engine import _RankEngine
 from repro.serving.engine.records import RequestRecord, ServingResult
 from repro.serving.routing import RoutingPolicy, get_router
@@ -131,7 +132,7 @@ class Deployment:
         replica collects nothing before its weights have transferred,
         so arrivals routed to it meanwhile wait in its pending queue.
         """
-        engine = _RankEngine(
+        engine = make_engine(
             rank, (), self.cost_cache, self.config, self.kv_capacity,
             self.sched_policy, tracer=self._tracer, profiler=self._profiler,
         )
@@ -175,13 +176,16 @@ class Deployment:
         up in the signal, because a fast replica can clear its reserved
         KV inside one committed decode segment and otherwise look
         permanently empty to the router.  May exceed 1.0 on a
-        backlogged deployment.
+        backlogged deployment — which is why a deployment with no
+        active capacity (every replica retired) reports ``inf``, not a
+        finite sentinel: any finite value could look *roomier* to
+        ``least_kv`` than a backlogged healthy deployment.
         """
         self.advance(t)
         active = self.active_engines()
         capacity = self.kv_capacity * len(active)
         if capacity <= 0:
-            return 1.0
+            return math.inf
         demand = sum(e.kv_used + e.kv_queued_bytes for e in active)
         return demand / capacity
 
@@ -293,8 +297,16 @@ class ClusterResult:
 
     @property
     def rejected(self) -> int:
-        """Requests rejected as never-fitting their deployment's KV."""
-        return self.requests - self.completed
+        """Requests rejected as never-fitting their deployment's KV.
+
+        Counted by actual record status — not ``requests - completed``,
+        so a future terminal status (truncated, cancelled) cannot
+        silently inflate the rejection count.
+        """
+        return sum(
+            sum(1 for rec in dep.serving.records if rec.status == "rejected")
+            for dep in self.deployments
+        )
 
     @property
     def makespan_s(self) -> float:

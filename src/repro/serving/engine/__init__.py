@@ -17,9 +17,14 @@ natural seams:
   continuous-batching engine (``_RankEngine``), driveable either
   run-to-drain or incrementally (``submit`` / ``advance`` /
   ``finalize``) by the cluster layer.
+* :mod:`~repro.serving.engine.soa_engine` — the structure-of-arrays
+  event core (``_SoaEngine``): the same event semantics over columnar
+  request state, selected with ``engine="soa"`` for million-request
+  traces.
 * :mod:`~repro.serving.engine.driver` — :func:`simulate_trace`, the
   single-deployment driver: shard via the routing layer, drain each
-  rank engine, aggregate the result.
+  rank engine, aggregate the result (and the ``make_engine`` factory
+  the cluster layer builds replicas through).
 
 The scheduling semantics (per-rank sharding, continuous batching,
 event-driven decode segments vs. the per-token reference loop,
@@ -32,9 +37,10 @@ re-exporting everything here.
 from repro.serving.engine.cache import CacheEntry, PrefixCache
 from repro.serving.engine.config import ENGINES, ServingConfig
 from repro.serving.engine.costs import _CostCache
-from repro.serving.engine.driver import simulate_trace
+from repro.serving.engine.driver import make_engine, simulate_trace
 from repro.serving.engine.rank_engine import _RankEngine, _RequestState
 from repro.serving.engine.records import RankStats, RequestRecord, ServingResult
+from repro.serving.engine.soa_engine import _SoaEngine
 
 __all__ = [
     "ENGINES",

@@ -11,7 +11,9 @@ per replica.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.kernels.cost import _cached_naive_sum_k as _naive_sum_k_lru
 from repro.kernels.cost import _cached_naive_sum_n as _naive_sum_n_lru
@@ -29,7 +31,7 @@ from repro.quant.schemes import resolve_scheme
 from repro.pim.energy import EnergyModel
 from repro.pim.upmem import ExecutionStats, UpmemSystem
 
-__all__ = ["_CostCache"]
+__all__ = ["_CostCache", "SegmentCostTable"]
 
 
 class _CostCache:
@@ -87,6 +89,18 @@ class _CostCache:
         # per-call scheme/config resolution and defensive copies are
         # measurable at event-engine miss rates).
         self._attn_scheme = resolve_scheme(ATTENTION_SCHEME)
+        self._segment_table: Optional["SegmentCostTable"] = None
+
+    def segment_table(self) -> "SegmentCostTable":
+        """The dense :class:`SegmentCostTable` view over this cache.
+
+        Built lazily (the object engines never pay for it) and memoised,
+        so every SoA engine of a deployment shares one table the same
+        way the scalar dict caches are shared.
+        """
+        if self._segment_table is None:
+            self._segment_table = SegmentCostTable(self)
+        return self._segment_table
 
     def _scalars(self, stats: ExecutionStats) -> Tuple[float, float]:
         return stats.total_s, self.energy.total_j(stats)
@@ -197,3 +211,93 @@ class _CostCache:
         lo_lat, lo_energy = self.attn_cum(kv_lo - 1)
         hi_lat, hi_energy = self.attn_cum(kv_hi)
         return hi_lat - lo_lat, hi_energy - lo_energy
+
+
+class SegmentCostTable:
+    """Dense cumulative attention tables for vectorized segment costing.
+
+    The structure-of-arrays engine costs a whole decode batch with a
+    handful of numpy gathers instead of per-request dict lookups:
+    ``cum_lat[kv]`` / ``cum_energy[kv]`` hold
+    :meth:`_CostCache.attn_cum` for every KV depth up to :attr:`max_kv`,
+    and ``step_lat[kv]`` / ``step_energy[kv]`` the per-step differences
+    (``step[0]`` is 0 — depth 0 has no attention step).  A batch's
+    segment cost over per-request ranges ``(kv, kv + tokens]`` is then
+    ``(cum[kv + tokens] - cum[kv]).sum()``.
+
+    ``pre_lat[L]`` / ``pre_energy[L]`` are the matching dense view of
+    whole-prompt prefill costs (:meth:`_CostCache.prefill_chunk` with
+    ``done=0``), NaN until first touched: :meth:`prefill` gathers a
+    batch of lengths in one shot and lazily fills only the lengths that
+    actually occur, so an unchunked prefill stage costs one gather
+    instead of one dict lookup per request.
+
+    The table is filled by walking :meth:`_CostCache.attn_cum`
+    *ascending*, so each new depth extends the previous one by a single
+    closed-form tail; the resulting floats can differ from the object
+    engines' lazy, access-order-dependent accumulation by ~1e-13
+    relative — far inside the 1e-9 equivalence tolerance the engine
+    suite pins.  Storage doubles on growth, so incremental (cluster)
+    submissions extend it in amortised O(1) per depth.
+    """
+
+    def __init__(self, cache: _CostCache) -> None:
+        self._cache = cache
+        #: Deepest KV length with valid table entries.
+        self.max_kv = 0
+        self.cum_lat = np.zeros(1)
+        self.cum_energy = np.zeros(1)
+        self.step_lat = np.zeros(1)
+        self.step_energy = np.zeros(1)
+        self.pre_lat = np.full(1, np.nan)
+        self.pre_energy = np.full(1, np.nan)
+
+    def ensure(self, max_kv: int) -> None:
+        """Extend the tables to cover KV depths up to ``max_kv``."""
+        if max_kv <= self.max_kv:
+            return
+        size = self.cum_lat.size
+        if max_kv + 1 > size:
+            new_size = max(2 * size, max_kv + 1)
+            for name in ("cum_lat", "cum_energy", "step_lat", "step_energy"):
+                old = getattr(self, name)
+                grown = np.zeros(new_size)
+                grown[: old.size] = old
+                setattr(self, name, grown)
+            for name in ("pre_lat", "pre_energy"):
+                old = getattr(self, name)
+                grown = np.full(new_size, np.nan)
+                grown[: old.size] = old
+                setattr(self, name, grown)
+        lo = self.max_kv + 1
+        block = np.asarray(
+            [self._cache.attn_cum(kv) for kv in range(lo, max_kv + 1)]
+        )
+        self.cum_lat[lo : max_kv + 1] = block[:, 0]
+        self.cum_energy[lo : max_kv + 1] = block[:, 1]
+        self.step_lat[lo : max_kv + 1] = np.diff(
+            self.cum_lat[lo - 1 : max_kv + 1]
+        )
+        self.step_energy[lo : max_kv + 1] = np.diff(
+            self.cum_energy[lo - 1 : max_kv + 1]
+        )
+        self.max_kv = max_kv
+
+    def prefill(self, lens: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-prompt prefill (latency, energy) vectors for ``lens``.
+
+        Each length is costed once through
+        :meth:`_CostCache.prefill_chunk` (``done=0``) and cached in the
+        dense tables; repeat lengths are pure gathers.  Lengths must be
+        covered by a prior :meth:`ensure` call.
+        """
+        lat = self.pre_lat[lens]
+        nan = np.isnan(lat)
+        if nan.any():
+            chunk = self._cache.prefill_chunk
+            for length in np.unique(lens[nan]).tolist():
+                self.pre_lat[length], self.pre_energy[length] = chunk(
+                    0, int(length)
+                )
+            lat = self.pre_lat[lens]
+        return lat, self.pre_energy[lens]

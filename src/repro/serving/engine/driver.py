@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.model.config import get_model_config
 from repro.model.cost import policy_weight_bytes
 from repro.model.policy import SchemePolicy
@@ -22,12 +24,137 @@ from repro.serving.engine.cache import PrefixCache
 from repro.serving.engine.config import ServingConfig
 from repro.serving.engine.costs import _CostCache
 from repro.serving.engine.rank_engine import _RankEngine
-from repro.serving.engine.records import RankStats, RequestRecord, ServingResult
+from repro.serving.engine.records import (
+    ColumnRecords,
+    RankStats,
+    RequestRecord,
+    ServingResult,
+)
+from repro.serving.engine.soa_engine import _SoaEngine
 from repro.serving.policy import SchedulingPolicy
 from repro.serving.routing import RoundRobinRouter
 from repro.serving.trace import Request
 
-__all__ = ["simulate_trace"]
+__all__ = ["simulate_trace", "make_engine"]
+
+
+def make_engine(
+    rank: int,
+    requests,
+    cache: _CostCache,
+    config: ServingConfig,
+    kv_capacity: int,
+    policy: SchedulingPolicy,
+    tracer=None,
+    profiler=None,
+):
+    """Build the rank engine selected by ``config.engine``.
+
+    The seam the driver and the cluster layer share: ``"event"`` and
+    ``"loop"`` construct the object engine
+    (:class:`~repro.serving.engine.rank_engine._RankEngine`), ``"soa"``
+    the columnar :class:`~repro.serving.engine.soa_engine._SoaEngine`.
+    Both expose the same incremental API (``submit`` / ``advance`` /
+    ``finalize`` / ``has_work`` / ``queue_depth`` / ``next_event_s`` /
+    ``records`` / ``retired``).
+    """
+    cls = _SoaEngine if config.engine == "soa" else _RankEngine
+    return cls(rank, requests, cache, config, kv_capacity, policy,
+               tracer=tracer, profiler=profiler)
+
+
+def _trace_columns(trace: Sequence[Request]) -> dict:
+    """Column arrays for ``trace``, sorted by ``(arrival_s, req_id)``.
+
+    Reuses the generator-attached :attr:`~repro.serving.trace.Trace.columns`
+    when present (validated by length), otherwise extracts them from the
+    request objects — so hand-built request lists work unchanged.
+    """
+    cols = getattr(trace, "columns", None)
+    n = len(trace)
+    if cols is None or int(cols["req_id"].size) != n:
+        cols = {
+            "req_id": np.fromiter((r.req_id for r in trace), np.int64, n),
+            "arrival_s": np.fromiter(
+                (r.arrival_s for r in trace), np.float64, n
+            ),
+            "prompt_tokens": np.fromiter(
+                (r.prompt_tokens for r in trace), np.int64, n
+            ),
+            "gen_tokens": np.fromiter(
+                (r.gen_tokens for r in trace), np.int64, n
+            ),
+            "priority": np.fromiter((r.priority for r in trace), np.int64, n),
+            "slo_ttft_s": np.fromiter(
+                (r.slo_ttft_s for r in trace), np.float64, n
+            ),
+            "session_id": np.fromiter(
+                (r.session_id for r in trace), np.int64, n
+            ),
+            "turn": np.fromiter((r.turn for r in trace), np.int64, n),
+        }
+    arrival = cols["arrival_s"]
+    req_id = cols["req_id"]
+    if n > 1:
+        unsorted = bool(
+            np.any(
+                (arrival[1:] < arrival[:-1])
+                | ((arrival[1:] == arrival[:-1]) & (req_id[1:] < req_id[:-1]))
+            )
+        )
+        if unsorted:
+            order = np.lexsort((req_id, arrival))
+            cols = {key: value[order] for key, value in cols.items()}
+    return cols
+
+
+def _simulate_trace_soa(
+    trace: Sequence[Request],
+    config: ServingConfig,
+    cache: _CostCache,
+    kv_capacity: int,
+    weight_bytes: int,
+    sched_policy: SchedulingPolicy,
+) -> ServingResult:
+    """Columnar fast path of :func:`simulate_trace` (``engine="soa"``).
+
+    Same sharding as the object path: the vectorized rank assignment
+    reproduces :class:`~repro.serving.routing.RoundRobinRouter` exactly
+    — its counter advances on *every* request, so non-session requests
+    land on ``position mod num_ranks`` and session turns on
+    ``session_id mod num_ranks``.
+    """
+    cols = _trace_columns(trace)
+    n = int(cols["req_id"].size)
+    num_ranks = config.num_ranks
+    session = cols["session_id"]
+    ranks = np.where(
+        session >= 0,
+        session % num_ranks,
+        np.arange(n, dtype=np.int64) % num_ranks,
+    )
+    rank_stats: List[RankStats] = []
+    outputs: List[dict] = []
+    for rank in range(num_ranks):
+        mask = ranks == rank
+        shard = {key: value[mask] for key, value in cols.items()}
+        engine = _SoaEngine(rank, (), cache, config, kv_capacity, sched_policy)
+        engine.submit_columns(shard)
+        rank_stats.append(engine.drain())
+        out = engine.output_columns()
+        out["rank"] = np.full(int(out["req_id"].size), rank, dtype=np.int64)
+        outputs.append(out)
+    merged = {
+        key: np.concatenate([out[key] for out in outputs])
+        for key in outputs[0]
+    }
+    return ServingResult(
+        config=config,
+        records=ColumnRecords(merged),
+        rank_stats=rank_stats,
+        kv_capacity_bytes=kv_capacity,
+        weight_bytes=weight_bytes,
+    )
 
 
 def simulate_trace(
@@ -81,6 +208,21 @@ def simulate_trace(
             f"({mram_total} B); use more DPUs per rank or a narrower scheme"
         )
     cache = _CostCache(model, scheme_policy, system, config.kernel, energy_model)
+
+    if config.engine == "soa":
+        if tracer is not None and tracer.enabled:
+            raise ValueError(
+                "engine tracing requires an object engine (engine='event' "
+                "or 'loop'); the soa engine emits no per-event trace"
+            )
+        if profiler is not None:
+            raise ValueError(
+                "the self-profiler requires an object engine "
+                "(engine='event' or 'loop')"
+            )
+        return _simulate_trace_soa(
+            trace, config, cache, kv_capacity, weight_bytes, sched_policy
+        )
 
     shards: List[List[Request]] = [[] for _ in range(config.num_ranks)]
     router = RoundRobinRouter()

@@ -9,12 +9,16 @@ cluster layer's per-deployment slices.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.serving.engine.config import ServingConfig
 
-__all__ = ["RequestRecord", "RankStats", "ServingResult"]
+__all__ = ["RequestRecord", "RankStats", "ServingResult", "ColumnRecords"]
 
 
 @dataclass
@@ -71,6 +75,84 @@ class RequestRecord:
         if self.finish_s is None or self.first_token_s is None or self.gen_tokens < 2:
             return 0.0
         return (self.finish_s - self.first_token_s) / (self.gen_tokens - 1)
+
+class ColumnRecords(Sequence):
+    """Request records materialised lazily from column arrays.
+
+    The structure-of-arrays engine finishes a run holding its outcome as
+    numpy columns; building a million :class:`RequestRecord` objects up
+    front would cost seconds the caller may never need (the benches only
+    read aggregate counters).  This sequence keeps the columns and
+    builds the record list — sorted by ``req_id``, matching the driver's
+    contract — on first element access; ``len()`` stays O(1) and never
+    materialises.
+
+    ``columns`` maps field names to equal-length arrays: ``req_id``,
+    ``rank``, ``arrival_s``, ``prompt_tokens``, ``gen_tokens``,
+    ``priority``, ``slo_ttft_s``, ``session_id``, ``turn``,
+    ``rejected`` (bool), ``admit_s`` / ``first_token_s`` / ``finish_s``
+    (NaN = never happened) and ``preemptions``.
+    """
+
+    def __init__(self, columns: dict) -> None:
+        self._columns = columns
+        self._items: Optional[List[RequestRecord]] = None
+
+    def __len__(self) -> int:
+        return int(self._columns["req_id"].size)
+
+    def _materialize(self) -> List[RequestRecord]:
+        if self._items is not None:
+            return self._items
+        cols = self._columns
+        order = np.argsort(cols["req_id"], kind="stable")
+        req_id = cols["req_id"]
+        rank = cols["rank"]
+        arrival = cols["arrival_s"]
+        prompt = cols["prompt_tokens"]
+        gen = cols["gen_tokens"]
+        priority = cols["priority"]
+        slo = cols["slo_ttft_s"]
+        session = cols["session_id"]
+        turn = cols["turn"]
+        rejected = cols["rejected"]
+        admit = cols["admit_s"]
+        first = cols["first_token_s"]
+        finish = cols["finish_s"]
+        preempt = cols["preemptions"]
+        items = []
+        for i in order:
+            items.append(
+                RequestRecord(
+                    req_id=int(req_id[i]),
+                    rank=int(rank[i]),
+                    arrival_s=float(arrival[i]),
+                    prompt_tokens=int(prompt[i]),
+                    gen_tokens=int(gen[i]),
+                    priority=int(priority[i]),
+                    slo_ttft_s=float(slo[i]),
+                    status="rejected" if rejected[i] else "completed",
+                    admit_s=None if math.isnan(admit[i]) else float(admit[i]),
+                    first_token_s=(
+                        None if math.isnan(first[i]) else float(first[i])
+                    ),
+                    finish_s=(
+                        None if math.isnan(finish[i]) else float(finish[i])
+                    ),
+                    preemptions=int(preempt[i]),
+                    session_id=int(session[i]),
+                    turn=int(turn[i]),
+                )
+            )
+        self._items = items
+        return items
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
 
 @dataclass
 class RankStats:

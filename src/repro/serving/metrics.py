@@ -219,10 +219,12 @@ def cluster_summary(result) -> dict:
     """
     ttfts: List[float] = []
     latencies: List[float] = []
+    requests = 0
     rejected = 0
     slo_requests = 0
     slo_met = 0
     for rec in result.records:
+        requests += 1
         if rec.status == "completed":
             ttfts.append(rec.ttft_s)
             latencies.append(rec.latency_s)
@@ -230,7 +232,11 @@ def cluster_summary(result) -> dict:
                 slo_requests += 1
                 slo_met += rec.ttft_s <= rec.slo_ttft_s
         else:
-            rejected += 1
+            # Count rejections by actual status: any future non-completed
+            # terminal state (truncated, cancelled) still misses its SLO
+            # below but must not masquerade as a KV rejection.
+            if rec.status == "rejected":
+                rejected += 1
             if rec.slo_ttft_s > 0:
                 slo_requests += 1
     makespan = result.makespan_s
@@ -241,7 +247,7 @@ def cluster_summary(result) -> dict:
         "deployments": len(result.deployments),
         "replicas": sum(d.replicas_final for d in result.deployments),
         "replicas_peak": sum(d.replicas_peak for d in result.deployments),
-        "requests": len(ttfts) + rejected,
+        "requests": requests,
         "completed": len(ttfts),
         "rejected": rejected,
         "routed": sum(d.routed for d in result.deployments),

@@ -124,10 +124,13 @@ class LeastKvRouter(RoutingPolicy):
 class P2cRouter(RoutingPolicy):
     """Power-of-two-choices on queue depth.
 
-    Samples two targets with a seeded RNG and routes to the one with
-    the shallower queue at the request's arrival time (ties go to the
-    first sample).  O(1) state probes per request with near-least-loaded
-    balance — the classic result this policy is named for.
+    Samples two *distinct* targets with a seeded RNG and routes to the
+    one with the shallower queue at the request's arrival time (ties go
+    to the first sample).  O(1) state probes per request with
+    near-least-loaded balance — the classic result this policy is named
+    for, which requires sampling without replacement: letting the two
+    draws collide degenerates a ``1/n`` share of picks into uniform
+    random routing (a quarter of them at ``n = 2``).
     """
 
     name = "p2c"
@@ -136,14 +139,18 @@ class P2cRouter(RoutingPolicy):
         self._rng = random.Random(seed)
 
     def select(self, request: Request, targets: Sequence) -> int:
-        """Shallower ``queue_depth`` of two seeded-random candidates."""
+        """Shallower ``queue_depth`` of two distinct seeded candidates."""
         n = len(targets)
         if n == 1:
             return 0
         first = self._rng.randrange(n)
-        second = self._rng.randrange(n)
-        if first == second:
-            return first
+        # Second draw over the remaining n - 1 indices, shifted past the
+        # first: uniform without replacement in two plain randrange
+        # draws (no collision-and-retry, so the draw count per request
+        # stays fixed and seeded replays stay aligned).
+        second = self._rng.randrange(n - 1)
+        if second >= first:
+            second += 1
         t = request.arrival_s
         if targets[first].queue_depth(t) <= targets[second].queue_depth(t):
             return first

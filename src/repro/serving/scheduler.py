@@ -23,8 +23,10 @@ A quick tour of the simulated semantics (details on the classes):
   every running request one token per iteration.
 * **Event-driven decode** — ``engine="event"`` advances the running
   batch whole multi-token segments between scheduler events in closed
-  form; ``engine="loop"`` is the per-token reference walk.  Both
-  produce identical metrics up to float-summation rounding.
+  form; ``engine="loop"`` is the per-token reference walk; and
+  ``engine="soa"`` replays the event schedule over structure-of-arrays
+  columns for million-request traces.  All three produce identical
+  metrics up to float-summation rounding.
 * **Pluggable scheduling** — admission order, preemption victims and
   prefill chunking come from a
   :class:`~repro.serving.policy.SchedulingPolicy`.

@@ -56,6 +56,7 @@ import numpy as np
 
 __all__ = [
     "Request",
+    "Trace",
     "TraceSpec",
     "SCENARIOS",
     "generate_trace",
@@ -152,6 +153,28 @@ class Request:
                 f"prefix ({self.shared_prefix_tokens}) + carried context "
                 f"({self.context_tokens}) + at least one new token"
             )
+
+
+class Trace(list):
+    """A request trace: a plain list of :class:`Request`, plus columns.
+
+    :func:`generate_trace` already builds every request field as a numpy
+    array before boxing them into :class:`Request` objects; this list
+    subclass carries those arrays along in :attr:`columns` so columnar
+    consumers (the structure-of-arrays serving engine) can ingest a
+    million-request trace without re-extracting attributes one object at
+    a time.  ``columns`` maps ``req_id`` / ``arrival_s`` /
+    ``prompt_tokens`` / ``gen_tokens`` / ``priority`` / ``slo_ttft_s`` /
+    ``session_id`` / ``turn`` to equal-length arrays in list order, and
+    is ``None`` for traces built by hand or sliced (list operations
+    return plain lists, dropping the columns — consumers must fall back
+    to attribute extraction then).
+    """
+
+    def __init__(self, requests=(), columns=None) -> None:
+        super().__init__(requests)
+        #: Column arrays in list order, or ``None`` when unavailable.
+        self.columns = columns
 
 
 @dataclass(frozen=True)
@@ -425,7 +448,7 @@ def _turn_counts(rng: np.random.Generator, spec: TraceSpec, s: int) -> np.ndarra
     return counts
 
 
-def _conversational_trace(rng: np.random.Generator, spec: TraceSpec) -> List[Request]:
+def _conversational_trace(rng: np.random.Generator, spec: TraceSpec) -> "Trace":
     """Session-structured multi-turn trace (see the module docstring).
 
     Vectorised construction: session starts are a Poisson process at
@@ -440,7 +463,7 @@ def _conversational_trace(rng: np.random.Generator, spec: TraceSpec) -> List[Req
     """
     n = spec.num_requests
     if n == 0:
-        return []
+        return Trace()
     s = min(spec.sessions, n)
     counts = _turn_counts(rng, spec, s)
     session_rate = spec.arrival_rate_per_s * s / n
@@ -483,7 +506,7 @@ def _conversational_trace(rng: np.random.Generator, spec: TraceSpec) -> List[Req
     # Turns of one session are already time-ordered; a stable sort keeps
     # them in turn order even when think times are zero.
     order = np.argsort(arrivals, kind="stable")
-    return [
+    requests = [
         Request(
             req_id=pos,
             arrival_s=float(arrivals[i]),
@@ -502,15 +525,35 @@ def _conversational_trace(rng: np.random.Generator, spec: TraceSpec) -> List[Req
         )
         for pos, i in enumerate(order)
     ]
+    req_priorities = priorities[session_of][order]
+    columns = {
+        "req_id": np.arange(n, dtype=np.int64),
+        "arrival_s": arrivals[order].astype(float),
+        "prompt_tokens": prompts[order].astype(np.int64),
+        "gen_tokens": gens[order].astype(np.int64),
+        "priority": req_priorities.astype(np.int64),
+        "slo_ttft_s": (
+            np.asarray(slos, dtype=float)[req_priorities]
+            if slos is not None
+            else np.zeros(n)
+        ),
+        "session_id": session_of[order].astype(np.int64),
+        "turn": turn_idx[order].astype(np.int64),
+    }
+    return Trace(requests, columns)
 
 
-def generate_trace(spec: TraceSpec) -> List[Request]:
+def generate_trace(spec: TraceSpec) -> Trace:
     """Generate the seeded synthetic trace described by ``spec``.
 
     Draw order is arrivals, prompt lengths, generation lengths, then
     priorities — so for a fixed seed the length marginals are identical
     across scenarios with the same arrival-draw count (``steady``
     traces reproduce the pre-scenario generator draw for draw).
+
+    The returned :class:`Trace` is a plain list of :class:`Request`
+    that additionally carries the generator's column arrays
+    (``trace.columns``) for columnar consumers.
     """
     rng = np.random.default_rng(spec.seed)
     n = spec.num_requests
@@ -525,7 +568,7 @@ def generate_trace(spec: TraceSpec) -> List[Request]:
         weights = np.asarray(spec.priority_weights, dtype=float)
         priorities = rng.choice(len(weights), size=n, p=weights / weights.sum())
     slos = spec.slo_ttft_s if spec.slo_ttft_s else None
-    return [
+    requests = [
         Request(
             req_id=i,
             arrival_s=float(arrivals[i]),
@@ -536,6 +579,21 @@ def generate_trace(spec: TraceSpec) -> List[Request]:
         )
         for i in range(n)
     ]
+    columns = {
+        "req_id": np.arange(n, dtype=np.int64),
+        "arrival_s": np.asarray(arrivals, dtype=float),
+        "prompt_tokens": prompts.astype(np.int64),
+        "gen_tokens": gens.astype(np.int64),
+        "priority": priorities.astype(np.int64),
+        "slo_ttft_s": (
+            np.asarray(slos, dtype=float)[priorities]
+            if slos is not None
+            else np.zeros(n)
+        ),
+        "session_id": np.full(n, -1, dtype=np.int64),
+        "turn": np.zeros(n, dtype=np.int64),
+    }
+    return Trace(requests, columns)
 
 
 def trace_rows(trace: Sequence[Request]) -> List[dict]:

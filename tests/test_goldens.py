@@ -163,6 +163,19 @@ def test_loop_engine_reproduces_event_golden(policy):
 
 
 @pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_soa_engine_reproduces_event_golden(policy):
+    """The structure-of-arrays engine must hit the same golden as the
+    event oracle after rounding, exactly like the loop engine does.
+    (Only the plain serving goldens: the conversational fixtures enable
+    the prefix cache, which the soa engine rejects by contract.)"""
+    golden = dict(_load(f"serving_{policy}.json"))
+    soa = dict(_build_serving_golden(policy, engine="soa"))
+    assert soa.pop("engine") == "soa"
+    assert golden.pop("engine") == "event"
+    assert soa == golden
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
 def test_conversational_summary_matches_golden(policy):
     assert _build_conversational_golden(policy) == _load(
         f"serving_conversational_{policy}.json"

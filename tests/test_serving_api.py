@@ -82,7 +82,7 @@ def test_shim_and_engine_are_same_objects():
 
 def test_engine_package_layout():
     for submodule in ("cache", "config", "costs", "driver", "records",
-                      "rank_engine"):
+                      "rank_engine", "soa_engine"):
         importlib.import_module(f"repro.serving.engine.{submodule}")
 
 

@@ -362,3 +362,110 @@ def test_cluster_summary_totals():
     assert flat["output_tokens"] == result.output_tokens
     assert flat["makespan_s"] == pytest.approx(result.makespan_s)
     assert flat["scale_events"] == 0
+
+
+# ---------------------------------------------------------------------------
+# accounting edge cases
+# ---------------------------------------------------------------------------
+
+def test_fully_retired_deployment_never_wins_least_kv():
+    """A deployment whose every replica is retired reports infinite KV
+    occupancy, so ``least_kv`` must prefer *any* healthy deployment —
+    even a badly backlogged one whose occupancy exceeds 1.0."""
+    from repro.serving.routing import get_router
+
+    dead = Deployment(ServingConfig(model="gpt-125m", num_ranks=2),
+                      name="dead")
+    busy = Deployment(ServingConfig(model="gpt-125m", num_ranks=1,
+                                    dpus_per_rank=8), name="busy")
+    Cluster([dead, busy], router="round_robin")
+    for engine in dead.engines:
+        engine.retired = True
+    # Backlog the healthy deployment far past capacity.
+    for request in _trace(5, requests=160, rate=1000.0):
+        busy.submit(request)
+    assert dead.kv_occupancy(0.0) == float("inf")
+    assert busy.kv_occupancy(0.0) > 1.0  # genuinely overcommitted
+    router = get_router("least_kv")
+    targets = [dead, busy]
+    for i in range(8):
+        assert targets[router.select(_trace(6, requests=8)[i], targets)] is busy
+
+
+def test_control_round_is_cluster_wide_per_interval():
+    """``_last_control`` is shared: one control round covers every
+    deployment, and a second call inside the interval is a no-op for
+    all of them — not just the first one touched."""
+    scaler = Autoscaler(AutoscalerConfig(queue_high=2.0, interval_s=10.0))
+    dep_a = Deployment(ServingConfig(model="gpt-125m", num_ranks=1), name="a")
+    dep_b = Deployment(ServingConfig(model="gpt-125m", num_ranks=1), name="b")
+    cluster = Cluster([dep_a, dep_b], router="round_robin")
+    for request in _trace(2, requests=24, rate=1000.0):
+        dep_a.submit(request)
+    for request in _trace(3, requests=24, rate=1000.0):
+        dep_b.submit(request)
+    scaler.control(0.0, cluster)
+    # Both deployments acted on in the same round.
+    assert dep_a.scale_ups == 1 and dep_b.scale_ups == 1
+    scaler.control(9.0, cluster)  # inside the interval: no-op for both
+    assert dep_a.scale_ups == 1 and dep_b.scale_ups == 1
+    scaler.control(10.0, cluster)
+    assert dep_a.scale_ups == 2 and dep_b.scale_ups == 2
+
+
+@pytest.mark.parametrize("engine", ["event", "soa"])
+def test_cold_replica_collects_no_work_before_ready(engine):
+    """A cold-started replica (``ready_s`` in the future) must not admit
+    anything before its weights have arrived: its clock starts at
+    ``ready_s``, so earlier arrivals wait in its pending queue."""
+    deployment = Deployment(
+        ServingConfig(model="gpt-125m", num_ranks=1, engine=engine),
+        name="cold",
+    )
+    Cluster([deployment], router="round_robin")
+    cold = deployment.add_replica(99, ready_s=100.0)
+    assert cold.clock == pytest.approx(100.0)
+    for request in _trace(4, requests=4, rate=1000.0):  # arrivals near t=0
+        cold.submit(request)
+    cold.advance(50.0)  # before the weights arrive: nothing may happen
+    assert cold.queue_depth() == 4
+    assert not cold.records
+    cold.advance(float("inf"))
+    cold.finalize()
+    assert len(cold.records) == 4
+    for record in cold.records:
+        assert record.admit_s >= 100.0
+
+
+@pytest.mark.parametrize("router", ROUTER_NAMES)
+def test_cluster_soa_engine_matches_event(router):
+    """Cluster runs with soa-engine deployments reproduce the event
+    engine's records under every router — including the lazy
+    mid-trace advance() calls the state-aware routers trigger."""
+    trace = _trace(7, requests=64, rate=50.0)
+
+    def deployments(engine):
+        return [
+            Deployment(ServingConfig(model="gpt-125m", num_ranks=2,
+                                     dpus_per_rank=8, max_batch=4,
+                                     engine=engine), name="tight", tier=0),
+            Deployment(ServingConfig(model="gpt-125m", num_ranks=1,
+                                     dpus_per_rank=64, engine=engine),
+                       name="roomy", tier=1),
+        ]
+
+    ev = simulate_cluster(trace, deployments("event"), router=router)
+    so = simulate_cluster(trace, deployments("soa"), router=router)
+    assert len(ev.records) == len(so.records)
+    for a, b in zip(ev.records, so.records):
+        assert (a.req_id, a.rank, a.status, a.preemptions) == \
+            (b.req_id, b.rank, b.status, b.preemptions)
+        for field in ("admit_s", "first_token_s", "finish_s"):
+            va, vb = getattr(a, field), getattr(b, field)
+            if va is None or vb is None:
+                assert va == vb, (field, a.req_id)
+            else:
+                assert va == pytest.approx(vb, rel=1e-9, abs=1e-12), (
+                    field, a.req_id,
+                )
+    assert ev.completed == so.completed and ev.rejected == so.rejected

@@ -1,13 +1,14 @@
-"""Event-driven vs per-token loop engine: metric identity.
+"""Event vs loop vs structure-of-arrays engine: metric identity.
 
 The event engine advances the running batch by whole closed-form
 segments between scheduler events; the loop engine is the per-token
-reference.  Both must make identical scheduling decisions and report
-identical metrics — integer counters exactly, float timestamps and
-energies to summation rounding.  The seeded property harness below
+reference; the soa engine replays the event schedule over columnar
+request state.  All three must make identical scheduling decisions and
+report identical metrics — integer counters exactly, float timestamps
+and energies to summation rounding.  The seeded property harness below
 sweeps every policy, every arrival scenario and both roomy and
-KV-starved deployments (the starved configs exercise preemption and
-requeue paths through the segment machinery).
+KV-starved deployments (the starved configs exercise preemption,
+rejection and requeue paths through the segment machinery).
 """
 
 import dataclasses
@@ -61,11 +62,24 @@ def _config(policy: str, seed: int) -> ServingConfig:
                          max_batch=4, policy=policy, prefill_chunk_tokens=16)
 
 
-def _assert_equivalent(trace, config):
-    event = simulate_trace(trace, dataclasses.replace(config, engine="event"))
-    loop = simulate_trace(trace, dataclasses.replace(config, engine="loop"))
+def _assert_equivalent(trace, config, engines=None):
+    """Every engine in ``engines`` must reproduce the event oracle.
 
-    assert len(event.records) == len(loop.records) == len(trace)
+    Defaults to the full registry minus ``soa`` when the config enables
+    the prefix cache (the soa engine rejects it by contract).
+    """
+    if engines is None:
+        engines = [e for e in ENGINES if e != "event"]
+        if config.prefix_cache:
+            engines = [e for e in engines if e != "soa"]
+    event = simulate_trace(trace, dataclasses.replace(config, engine="event"))
+    for engine in engines:
+        other = simulate_trace(trace, dataclasses.replace(config, engine=engine))
+        _assert_result_equal(event, other, len(trace))
+
+
+def _assert_result_equal(event, loop, n_requests):
+    assert len(event.records) == len(loop.records) == n_requests
     for ev, lp in zip(event.records, loop.records):
         # Scheduling decisions are identical: same request, same rank,
         # same terminal status, same preemption count.
@@ -142,7 +156,7 @@ def test_event_engine_is_default_and_summary_reports_it():
 
 
 def test_unknown_engine_rejected():
-    assert ENGINES == ("event", "loop")
+    assert ENGINES == ("event", "loop", "soa")
     with pytest.raises(ValueError, match="unknown serving engine"):
         ServingConfig(engine="turbo")
 
@@ -221,7 +235,7 @@ def test_prefix_cache_differential_oracle(policy):
         config = ServingConfig(model="gpt-125m", num_ranks=2,
                                dpus_per_rank=16, max_batch=8, policy=policy,
                                prefill_chunk_tokens=16)
-        for engine in ENGINES:
+        for engine in ("event", "loop"):
             cfg = dataclasses.replace(config, engine=engine)
             off = simulate_trace(trace, cfg)
             on = simulate_trace(
@@ -291,3 +305,81 @@ def test_decode_segment_stats_edges_and_validation():
         decode_segment_stats(model, policy, (8,), -1)
     with pytest.raises(ValueError, match="kv_lens"):
         decode_segment_stats(model, policy, (-2,), 4)
+
+
+# ---------------------------------------------------------------------------
+# structure-of-arrays engine specifics
+# ---------------------------------------------------------------------------
+
+def test_soa_starved_deployment_matches_event():
+    """Deterministic KV-starvation storm: rejections and priority
+    preemptions must land on the same requests with the same counts
+    under the columnar engine."""
+    config = ServingConfig(model="gpt-125m", num_ranks=1, dpus_per_rank=1,
+                           max_batch=8, policy="priority")
+    trace = []
+    rid = 0
+    t = 0.0
+    for _ in range(8):
+        for _ in range(3):  # low-priority fillers occupy the KV budget
+            trace.append(Request(req_id=rid, arrival_s=t, prompt_tokens=192,
+                                 gen_tokens=191, priority=3))
+            rid += 1
+        t += 0.5
+        for _ in range(2):  # high-priority arrivals mid-decode evict them
+            trace.append(Request(req_id=rid, arrival_s=t, prompt_tokens=192,
+                                 gen_tokens=191, priority=0, slo_ttft_s=1.0))
+            rid += 1
+        t += 3.0
+    # One oversized request exercises the up-front rejection path too.
+    trace.append(Request(req_id=rid, arrival_s=t, prompt_tokens=4096,
+                         gen_tokens=4096, priority=0))
+    event = simulate_trace(trace, config)
+    assert sum(r.preemptions for r in event.records) > 0
+    assert any(r.status == "rejected" for r in event.records)
+    _assert_equivalent(trace, config, engines=["soa"])
+
+
+def test_soa_rejects_prefix_cache():
+    with pytest.raises(ValueError, match="prefix cache"):
+        ServingConfig(engine="soa", prefix_cache=True)
+
+
+def test_soa_rejects_tracing_and_profiling():
+    from repro.obs.profile import SelfProfiler
+    from repro.obs.tracer import RecordingTracer
+
+    trace = generate_trace(TraceSpec(num_requests=4, seed=0))
+    config = ServingConfig(model="gpt-125m", num_ranks=1, engine="soa")
+    with pytest.raises(ValueError, match="tracing"):
+        simulate_trace(trace, config, tracer=RecordingTracer())
+    with pytest.raises(ValueError, match="profiler"):
+        simulate_trace(trace, config, profiler=SelfProfiler())
+
+
+def test_soa_rejects_custom_policies():
+    """Only the built-in policy types have columnar mirrors; subclasses
+    silently diverging would be worse than refusing."""
+    from repro.serving.policy import FcfsPolicy
+
+    class TweakedFcfs(FcfsPolicy):
+        pass
+
+    trace = generate_trace(TraceSpec(num_requests=4, seed=0))
+    config = ServingConfig(model="gpt-125m", num_ranks=1, engine="soa")
+    with pytest.raises(ValueError, match="built-in scheduling policies"):
+        simulate_trace(trace, config, sched_policy=TweakedFcfs())
+
+
+def test_soa_records_are_lazy_but_complete():
+    """The soa result holds records as columns: ``len`` works without
+    materialisation, iteration yields req_id-sorted RequestRecords."""
+    trace = generate_trace(TraceSpec(num_requests=32, seed=1))
+    config = ServingConfig(model="gpt-125m", num_ranks=2, engine="soa")
+    result = simulate_trace(trace, config)
+    records = result.records
+    assert len(records) == 32
+    assert records._items is None  # len() must not materialise
+    ids = [r.req_id for r in records]
+    assert ids == sorted(ids) == list(range(32))
+    assert records[5].req_id == 5
