@@ -50,7 +50,7 @@ __all__ = [
 DEFAULT_STRING_COLUMNS: FrozenSet[str] = frozenset(
     {"model", "scheme", "kernel", "status", "error", "phase", "scope",
      "policy", "scenario", "engine", "event", "series", "key",
-     "deployment", "router", "action"}
+     "deployment", "router", "action", "kind"}
 )
 
 _INT_RE = re.compile(r"[+-]?\d+")

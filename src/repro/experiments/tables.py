@@ -171,7 +171,8 @@ def serving_table(rows: Sequence[dict]) -> List[dict]:
     ``rows`` are per-request dicts as produced by
     :func:`repro.serving.metrics.record_rows` (keys ``rank``, ``status``,
     ``ttft_s``, ``tpot_s``, ``latency_s``, ``queue_s``, ``gen_tokens``,
-    ``finish_s``, plus optional ``slo_ttft_s`` / ``preemptions``).
+    ``finish_s``, plus optional ``slo_ttft_s`` / ``preemptions`` and the
+    fault-recovery counters ``retries`` / ``failovers`` / ``shed``).
     Returns one ``scope="all"`` row followed by one row per rank, each
     carrying request counts, TTFT/TPOT/latency percentiles over
     *completed* requests, SLO attainment over SLO-carrying requests
@@ -214,7 +215,11 @@ def serving_table(rows: Sequence[dict]) -> List[dict]:
                 "requests": len(group),
                 "completed": len(done),
                 "rejected": sum(r["status"] == "rejected" for r in group),
+                "failed": sum(r["status"] == "failed" for r in group),
                 "preemptions": sum(r.get("preemptions", 0) for r in group),
+                "retries": sum(r.get("retries", 0) for r in group),
+                "failovers": sum(r.get("failovers", 0) for r in group),
+                "shed": sum(bool(r.get("shed", False)) for r in group),
                 "slo_requests": len(slo_rows),
                 "slo_attainment": safe_ratio(slo_met, len(slo_rows), default=1.0),
                 "ttft_p50_s": percentile(ttfts, 50),

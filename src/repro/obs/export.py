@@ -176,6 +176,21 @@ def chrome_trace(events: Sequence[TraceEvent],
                 data["latency_s"],
                 {"batch": data["batch"], "tokens": data["tokens"]},
             ))
+        elif kind == "fault_crash":
+            # Rank-scoped: the replica dies, taking its in-flight
+            # requests with it (listed so the lost work is inspectable).
+            trace.append(_instant("fault_crash", rank, 0, t, {
+                "lost_requests": len(data["lost_req_ids"]),
+                "lost_req_ids": list(data["lost_req_ids"]),
+                "kv_lost_bytes": data["kv_lost_bytes"],
+            }))
+        elif kind == "fault_stall":
+            trace.append(_slice("fault_stall", rank, 0, t,
+                                data["duration_s"]))
+        elif kind == "fault_degrade":
+            trace.append(_slice("fault_degrade", rank, 0, t,
+                                data["duration_s"],
+                                {"factor": data["factor"]}))
 
     if registry is not None:
         for name in sorted(registry.series):

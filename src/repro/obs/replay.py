@@ -28,7 +28,7 @@ from repro.serving.scheduler import (
     ServingResult,
 )
 
-__all__ = ["replay_result"]
+__all__ = ["replay_result", "replay_fault_counters"]
 
 
 def replay_result(
@@ -129,6 +129,22 @@ def replay_result(
             rs.energy_j += data["energy_j"]
         elif kind == "finish":
             record(event).finish_s = t
+        elif kind == "fault_crash":
+            # A standalone (non-cluster) engine marks its losses as
+            # terminal failures at the crash instant; under a cluster
+            # the recovery loop re-submits them and later events
+            # overwrite these fields, so the derivation stays exact
+            # either way.
+            for req_id in data["lost_req_ids"]:
+                lost = records.get(req_id)
+                if lost is None:
+                    raise ValueError(
+                        f"fault_crash lists request {req_id} with no "
+                        f"preceding arrive event; trace is truncated or "
+                        f"reordered"
+                    )
+                lost.status = "failed"
+                lost.finish_s = t
 
     for rank, rs in stats.items():
         rs.finish_s = finish.get(rank, 0.0)
@@ -143,3 +159,54 @@ def replay_result(
         kv_capacity_bytes=kv_capacity_bytes,
         weight_bytes=weight_bytes,
     )
+
+
+def replay_fault_counters(events: Sequence[TraceEvent]) -> dict:
+    """Reconstruct the fault-and-recovery counters from a trace alone.
+
+    The cluster-replay analogue of :func:`replay_result`'s identity: the
+    returned dict must match the :class:`~repro.serving.cluster
+    .ClusterResult` aggregates (``retries``, ``failovers``, ``shed``)
+    and the fault-event tallies (``crashes``, ``stalls``, ``degrades``,
+    ``lost_requests``, ``replacements``) exactly, proving the recovery
+    loop traces every action it takes.  Per-request retry/failover
+    attempts are returned under ``retry_attempts`` / ``failover_counts``
+    keyed by request id.
+    """
+    counters = {
+        "crashes": 0, "stalls": 0, "degrades": 0, "lost_requests": 0,
+        "retries": 0, "failovers": 0, "shed": 0, "replacements": 0,
+    }
+    retry_attempts: Dict[int, int] = {}
+    failover_counts: Dict[int, int] = {}
+    for event in events:
+        kind = event.kind
+        if kind == "fault_crash":
+            counters["crashes"] += 1
+            counters["lost_requests"] += len(event.data["lost_req_ids"])
+        elif kind == "fault_stall":
+            counters["stalls"] += 1
+        elif kind == "fault_degrade":
+            counters["degrades"] += 1
+        elif kind == "retry":
+            counters["retries"] += 1
+            attempts = retry_attempts.get(event.req_id, 0) + 1
+            retry_attempts[event.req_id] = attempts
+            if event.data["attempt"] != attempts:
+                raise ValueError(
+                    f"retry event for request {event.req_id} claims "
+                    f"attempt {event.data['attempt']} but the trace shows "
+                    f"{attempts}; trace is truncated or reordered"
+                )
+        elif kind == "failover":
+            counters["failovers"] += 1
+            failover_counts[event.req_id] = (
+                failover_counts.get(event.req_id, 0) + 1
+            )
+        elif kind == "shed":
+            counters["shed"] += 1
+        elif kind == "replace":
+            counters["replacements"] += 1
+    counters["retry_attempts"] = retry_attempts
+    counters["failover_counts"] = failover_counts
+    return counters

@@ -57,6 +57,7 @@ __all__ = [
     "EVENT_KINDS",
     "LIFECYCLE_KINDS",
     "CLUSTER_KINDS",
+    "FAULT_EVENT_KINDS",
     "TRACE_LEVELS",
     "TraceEvent",
     "Tracer",
@@ -64,13 +65,29 @@ __all__ = [
 ]
 
 #: Cluster-scoped kinds emitted by :mod:`repro.serving.cluster` (not by
-#: rank engines): routing decisions and autoscaler actions.  They carry
+#: rank engines): routing decisions, autoscaler actions and the fault
+#: recovery loop's retries / failovers / load-sheds.  They carry
 #: ``rank = -1`` — the synthetic "cluster" lane — and are ignored by the
 #: single-deployment replay oracle.
 CLUSTER_KINDS = (
     "route",
     "scale_up",
+    "scale_up_warm",
     "scale_down",
+    "replace",
+    "retry",
+    "failover",
+    "shed",
+)
+
+#: Rank-scoped fault-injection kinds emitted by the event engine when a
+#: :class:`~repro.serving.faults.FaultPlan` fires: a replica crash (the
+#: payload lists the lost request ids), a transient stall window, and a
+#: latency-degradation window.
+FAULT_EVENT_KINDS = (
+    "fault_crash",
+    "fault_stall",
+    "fault_degrade",
 )
 
 #: Every event kind a rank engine — or the cluster layer above it — can
@@ -88,16 +105,17 @@ EVENT_KINDS = (
     "cache_evict",
     "decode_segment",
     "finish",
-) + CLUSTER_KINDS
+) + FAULT_EVENT_KINDS + CLUSTER_KINDS
 
 #: Request-scoped kinds, identical across engines (``decode_segment`` is
 #: engine-granularity: per token for the loop, per segment for the event
 #: engine; ``cache_evict`` is rank-scoped — it names a cache entry, not
-#: a request — though likewise engine-independent; the cluster kinds are
-#: not engine events at all).
+#: a request — though likewise engine-independent; the fault kinds are
+#: rank-scoped too, and the cluster kinds are not engine events at all).
 LIFECYCLE_KINDS = tuple(
     k for k in EVENT_KINDS
-    if k not in ("decode_segment", "cache_evict") + CLUSTER_KINDS
+    if k not in ("decode_segment", "cache_evict")
+    + FAULT_EVENT_KINDS + CLUSTER_KINDS
 )
 
 #: Recording levels: ``lifecycle`` keeps request-scoped events only;
@@ -206,11 +224,49 @@ class Tracer:
         """The cluster router assigned a request to a deployment."""
 
     def scale_up(self, t_s: float, deployment: str, replicas: int,
-                 cold_start_s: float, weight_bytes: int) -> None:
-        """The autoscaler added a replica (usable after ``cold_start_s``)."""
+                 cold_start_s: float, weight_bytes: int,
+                 depth: float = 0.0, threshold: float = 0.0,
+                 warm: bool = False) -> None:
+        """The autoscaler added a replica (usable after ``cold_start_s``).
 
-    def scale_down(self, t_s: float, deployment: str, replicas: int) -> None:
+        ``depth`` / ``threshold`` record the observed queue depth and
+        the per-replica trigger that fired; ``warm`` marks the reuse of
+        a retired weights-resident replica (no cold-start broadcast).
+        """
+
+    def scale_down(self, t_s: float, deployment: str, replicas: int,
+                   depth: float = 0.0, threshold: float = 0.0) -> None:
         """The autoscaler retired an idle replica."""
+
+    def replace(self, t_s: float, deployment: str, replicas: int,
+                cold_start_s: float, weight_bytes: int,
+                dead_rank: int) -> None:
+        """The autoscaler replaced a crashed replica (cold-start
+        broadcast charged; ``dead_rank`` is the replica it replaces)."""
+
+    def retry(self, t_s: float, deployment: str, req_id: int,
+              attempt: int, backoff_s: float) -> None:
+        """A crash-lost request re-entered the cluster (``t_s`` is the
+        re-submission time, after the backoff)."""
+
+    def failover(self, t_s: float, deployment: str, req_id: int,
+                 from_rank: int) -> None:
+        """A retried request was re-routed away from its dead replica."""
+
+    def shed(self, t_s: float, deployment: str, req_id: int,
+             priority: int) -> None:
+        """The load-shedder dropped a queued low-tier request."""
+
+    def fault_crash(self, t_s: float, rank: int, lost_req_ids,
+                    kv_lost_bytes: int) -> None:
+        """A replica died, losing ``lost_req_ids`` and its KV/cache."""
+
+    def fault_stall(self, t_s: float, rank: int, duration_s: float) -> None:
+        """A replica froze for ``duration_s`` starting at ``t_s``."""
+
+    def fault_degrade(self, t_s: float, rank: int, duration_s: float,
+                      factor: float) -> None:
+        """A replica entered a ``factor``× latency window."""
 
 
 class RecordingTracer(Tracer):
@@ -439,23 +495,108 @@ class RecordingTracer(Tracer):
         self.registry.counter("routes").inc()
 
     def scale_up(self, t_s: float, deployment: str, replicas: int,
-                 cold_start_s: float, weight_bytes: int) -> None:
-        """Record a replica addition with its cold-start transfer cost."""
+                 cold_start_s: float, weight_bytes: int,
+                 depth: float = 0.0, threshold: float = 0.0,
+                 warm: bool = False) -> None:
+        """Record a replica addition with its cold-start transfer cost
+        and the queue observation that triggered it."""
+        kind = "scale_up_warm" if warm else "scale_up"
         self.events.append(TraceEvent(
-            "scale_up", t_s, -1, None,
+            kind, t_s, -1, None,
             {
                 "deployment": deployment,
                 "replicas": replicas,
                 "cold_start_s": cold_start_s,
                 "weight_bytes": weight_bytes,
+                "depth": depth,
+                "threshold": threshold,
             },
         ))
         self.registry.counter("scale_ups").inc()
+        if warm:
+            self.registry.counter("scale_ups_warm").inc()
 
-    def scale_down(self, t_s: float, deployment: str, replicas: int) -> None:
+    def scale_down(self, t_s: float, deployment: str, replicas: int,
+                   depth: float = 0.0, threshold: float = 0.0) -> None:
         """Record an idle replica's retirement."""
         self.events.append(TraceEvent(
             "scale_down", t_s, -1, None,
-            {"deployment": deployment, "replicas": replicas},
+            {
+                "deployment": deployment,
+                "replicas": replicas,
+                "depth": depth,
+                "threshold": threshold,
+            },
         ))
         self.registry.counter("scale_downs").inc()
+
+    def replace(self, t_s: float, deployment: str, replicas: int,
+                cold_start_s: float, weight_bytes: int,
+                dead_rank: int) -> None:
+        """Record the replacement of a crashed replica."""
+        self.events.append(TraceEvent(
+            "replace", t_s, -1, None,
+            {
+                "deployment": deployment,
+                "replicas": replicas,
+                "cold_start_s": cold_start_s,
+                "weight_bytes": weight_bytes,
+                "dead_rank": dead_rank,
+            },
+        ))
+        self.registry.counter("replacements").inc()
+
+    def retry(self, t_s: float, deployment: str, req_id: int,
+              attempt: int, backoff_s: float) -> None:
+        """Record a crash-lost request's re-entry into the cluster."""
+        self.events.append(TraceEvent(
+            "retry", t_s, -1, req_id,
+            {"deployment": deployment, "attempt": attempt,
+             "backoff_s": backoff_s},
+        ))
+        self.registry.counter("retries").inc()
+
+    def failover(self, t_s: float, deployment: str, req_id: int,
+                 from_rank: int) -> None:
+        """Record a re-route away from a dead replica."""
+        self.events.append(TraceEvent(
+            "failover", t_s, -1, req_id,
+            {"deployment": deployment, "from_rank": from_rank},
+        ))
+        self.registry.counter("failovers").inc()
+
+    def shed(self, t_s: float, deployment: str, req_id: int,
+             priority: int) -> None:
+        """Record a load-shed drop and close the in-flight entry."""
+        self.events.append(TraceEvent(
+            "shed", t_s, -1, req_id,
+            {"deployment": deployment, "priority": priority},
+        ))
+        self.registry.counter("shed").inc()
+        self._inflight.pop(req_id, None)
+
+    def fault_crash(self, t_s: float, rank: int, lost_req_ids,
+                    kv_lost_bytes: int) -> None:
+        """Record a replica crash with the request ids it lost."""
+        self.events.append(TraceEvent(
+            "fault_crash", t_s, rank, None,
+            {"lost_req_ids": list(lost_req_ids),
+             "kv_lost_bytes": kv_lost_bytes},
+        ))
+        self.registry.counter("crashes").inc()
+
+    def fault_stall(self, t_s: float, rank: int, duration_s: float) -> None:
+        """Record a stall window."""
+        self.events.append(TraceEvent(
+            "fault_stall", t_s, rank, None, {"duration_s": duration_s}
+        ))
+        self.registry.counter("stalls").inc()
+
+    def fault_degrade(self, t_s: float, rank: int, duration_s: float,
+                      factor: float) -> None:
+        """Record a degradation window."""
+        self.events.append(TraceEvent(
+            "fault_degrade", t_s, rank, None,
+            {"duration_s": duration_s, "factor": factor},
+        ))
+        self.registry.counter("degrades").inc()

@@ -27,7 +27,10 @@ single deployment or a heterogeneous routed cluster of them.
   (:func:`simulate_cluster`),
 * :mod:`repro.serving.autoscale` — the queue-driven
   :class:`Autoscaler`, charging replica cold-starts as DRAM-PIM weight
-  transfers,
+  transfers (and replacing crashed replicas under fault injection),
+* :mod:`repro.serving.faults` — seeded fault injection
+  (:class:`FaultPlan` crash / stall / degrade schedules) and the
+  :class:`RetryPolicy` backing the cluster's crash-recovery loop,
 * :mod:`repro.serving.metrics` — per-request rows and percentile
   summary tables (incl. SLO attainment, preemption counters and the
   cluster-level rows),
@@ -79,6 +82,12 @@ from repro.serving.cluster import (
     simulate_cluster,
 )
 from repro.serving.autoscale import Autoscaler, AutoscalerConfig
+from repro.serving.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
 from repro.serving.metrics import (
     cluster_rows,
     cluster_summary,
@@ -124,6 +133,10 @@ __all__ = [
     "simulate_cluster",
     "Autoscaler",
     "AutoscalerConfig",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "RetryPolicy",
     "record_rows",
     "metrics_table",
     "summary",

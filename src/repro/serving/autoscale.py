@@ -89,6 +89,7 @@ class Autoscaler:
         self.cold_start_s = 0.0
         self.cold_start_bytes = 0
         self._last_control = -math.inf
+        self._replaced: set = set()  # dead ranks already replaced
 
     def cold_start_s_for(self, deployment) -> float:
         """Weight-broadcast seconds to bring up one replica of
@@ -97,7 +98,17 @@ class Autoscaler:
 
     def control(self, t: float, cluster) -> None:
         """One control round at simulation time ``t`` (rate-limited to
-        the configured interval; at most one action per deployment)."""
+        the configured interval; at most one action per deployment).
+
+        Per deployment, in priority order: **replace** one crashed
+        replica (a fresh rank, paying the full cold-start broadcast —
+        a corpse's MRAM contents are gone), else **scale up** on queue
+        pressure — reusing a warm retiree for free when one exists,
+        cold-starting a new rank otherwise — else **scale down** an
+        idle replica under the low-water mark.  Every logged event
+        carries the observed queue ``depth`` and the ``threshold`` the
+        decision compared it against.
+        """
         cfg = self.config
         if t - self._last_control < cfg.interval_s:
             return
@@ -106,25 +117,68 @@ class Autoscaler:
         for deployment in cluster.deployments:
             depth = deployment.queue_depth(t)
             replicas = len(deployment.active_engines())
-            if replicas < cfg.max_replicas and depth > cfg.queue_high * replicas:
+            corpse = next(
+                (e for e in deployment.engines
+                 if e.dead and e.rank not in self._replaced), None,
+            )
+            if corpse is not None and replicas < cfg.max_replicas:
+                self._replaced.add(corpse.rank)
                 cold = self.cold_start_s_for(deployment)
                 self.cold_start_s += cold
                 self.cold_start_bytes += deployment.weight_bytes
                 deployment.add_replica(cluster.allocate_rank(), ready_s=t + cold)
+                deployment.replacements += 1
+                replicas += 1
+                self.scale_events.append({
+                    "t_s": t,
+                    "deployment": deployment.name,
+                    "action": "replace",
+                    "replicas": replicas,
+                    "cold_start_s": cold,
+                    "weight_bytes": deployment.weight_bytes,
+                    "dead_rank": corpse.rank,
+                    "depth": depth,
+                    "threshold": cfg.queue_high * replicas,
+                })
+                if tracer is not None:
+                    tracer.replace(t, deployment.name, replicas, cold,
+                                   deployment.weight_bytes, corpse.rank)
+                continue
+            if replicas < cfg.max_replicas and depth > cfg.queue_high * replicas:
+                threshold = cfg.queue_high * replicas
+                warm = deployment.reuse_replica()
+                if warm is not None:
+                    cold = 0.0
+                else:
+                    cold = self.cold_start_s_for(deployment)
+                    self.cold_start_s += cold
+                    self.cold_start_bytes += deployment.weight_bytes
+                    deployment.add_replica(
+                        cluster.allocate_rank(), ready_s=t + cold
+                    )
                 deployment.scale_ups += 1
                 replicas += 1
                 self.scale_events.append({
                     "t_s": t,
                     "deployment": deployment.name,
-                    "action": "scale_up",
+                    "action": "scale_up_warm" if warm is not None else "scale_up",
                     "replicas": replicas,
                     "cold_start_s": cold,
-                    "weight_bytes": deployment.weight_bytes,
+                    "weight_bytes": (
+                        0 if warm is not None else deployment.weight_bytes
+                    ),
+                    "depth": depth,
+                    "threshold": threshold,
                 })
                 if tracer is not None:
-                    tracer.scale_up(t, deployment.name, replicas, cold,
-                                    deployment.weight_bytes)
+                    tracer.scale_up(
+                        t, deployment.name, replicas, cold,
+                        0 if warm is not None else deployment.weight_bytes,
+                        depth=depth, threshold=threshold,
+                        warm=warm is not None,
+                    )
             elif replicas > cfg.min_replicas and depth < cfg.queue_low * replicas:
+                threshold = cfg.queue_low * replicas
                 victim = deployment.idle_engine()
                 if victim is None:
                     continue
@@ -136,6 +190,9 @@ class Autoscaler:
                     "deployment": deployment.name,
                     "action": "scale_down",
                     "replicas": replicas,
+                    "depth": depth,
+                    "threshold": threshold,
                 })
                 if tracer is not None:
-                    tracer.scale_down(t, deployment.name, replicas)
+                    tracer.scale_down(t, deployment.name, replicas,
+                                      depth=depth, threshold=threshold)

@@ -55,6 +55,14 @@ least-KV routing and queue-driven autoscaling::
         --deployments "2*gpt-125m:W1A3:2:0,2*gpt-350m:W1A3:2:1" \\
         --router least_kv --autoscale --scale-max 4 --scale-interval 5 \\
         --scenario bursty --requests 2000 --arrival-rate 40
+
+Chaos run: seeded replica crashes and stalls with retries, health-aware
+routing, crash replacement and tier shedding::
+
+    python -m repro.serving --cluster --faults 7 --crash-rate 0.5 \\
+        --stall 2 --retry-max 3 --retry-backoff 0.5 --shed-tier 1 \\
+        --tiers 2 --autoscale --scale-interval 1 \\
+        --scenario bursty --requests 2000 --arrival-rate 40
 """
 
 from __future__ import annotations
@@ -75,6 +83,7 @@ from repro.obs import (
 )
 from repro.serving.autoscale import Autoscaler, AutoscalerConfig
 from repro.serving.cluster import Deployment, simulate_cluster
+from repro.serving.faults import FaultPlan, RetryPolicy
 from repro.serving.metrics import (
     cluster_rows,
     cluster_summary,
@@ -200,6 +209,31 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="autoscaler control interval in simulated "
                               "seconds (default 60)")
+    faults = parser.add_argument_group("faults")
+    faults.add_argument("--faults", type=int, default=None, metavar="SEED",
+                        help="inject a seeded fault plan (replica crashes, "
+                             "and stalls with --stall) sampled over the "
+                             "trace horizon; enables the recovery loop "
+                             "(retries with backoff, health-aware routing, "
+                             "crash replacement under --autoscale)")
+    faults.add_argument("--crash-rate", type=float, default=None, metavar="P",
+                        help="per-replica crash probability for the sampled "
+                             "plan (default 0.25)")
+    faults.add_argument("--stall", type=float, default=None, metavar="S",
+                        help="stall-window duration in seconds; each replica "
+                             "freezes once with the crash probability "
+                             "(default 0 = no stalls)")
+    faults.add_argument("--retry-max", type=int, default=None, metavar="N",
+                        help="retry budget per request lost to a crash "
+                             "(default 3; exhausted requests end failed)")
+    faults.add_argument("--retry-backoff", type=float, default=None,
+                        metavar="S",
+                        help="base retry backoff in seconds, doubled per "
+                             "attempt with seeded jitter (default 0.5)")
+    faults.add_argument("--shed-tier", type=int, default=None, metavar="T",
+                        help="after a crash, shed arrivals of priority >= T "
+                             "while the fleet-wide queue exceeds the "
+                             "high-water mark (default: no shedding)")
     obs = parser.add_argument_group("observability")
     obs.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -279,9 +313,42 @@ def _validate_cluster_args(args: argparse.Namespace) -> None:
             ("--autoscale", args.autoscale),
             ("--scale-max", args.scale_max is not None),
             ("--scale-interval", args.scale_interval is not None),
+            ("--faults", args.faults is not None),
         ):
             if used:
                 raise ValueError(f"{flag} requires --cluster")
+    if args.faults is None:
+        for flag, used in (
+            ("--crash-rate", args.crash_rate is not None),
+            ("--stall", args.stall is not None),
+            ("--retry-max", args.retry_max is not None),
+            ("--retry-backoff", args.retry_backoff is not None),
+            ("--shed-tier", args.shed_tier is not None),
+        ):
+            if used:
+                raise ValueError(f"{flag} requires --faults")
+    else:
+        if args.faults < 0:
+            raise ValueError(f"--faults seed must be >= 0, got {args.faults}")
+        if args.crash_rate is not None and not 0.0 <= args.crash_rate <= 1.0:
+            raise ValueError(
+                f"--crash-rate must be in [0, 1], got {args.crash_rate}"
+            )
+        if args.stall is not None and args.stall < 0:
+            raise ValueError(f"--stall must be >= 0, got {args.stall}")
+        if args.retry_max is not None and args.retry_max < 0:
+            raise ValueError(
+                f"--retry-max must be >= 0, got {args.retry_max}"
+            )
+        if args.retry_backoff is not None and args.retry_backoff <= 0:
+            raise ValueError(
+                f"--retry-backoff must be positive, got {args.retry_backoff}"
+            )
+        if args.shed_tier is not None and args.shed_tier < 0:
+            raise ValueError(
+                f"--shed-tier must be >= 0, got {args.shed_tier}"
+            )
+    if not args.cluster:
         return
     if args.compare:
         raise ValueError("--compare is not supported with --cluster")
@@ -441,7 +508,19 @@ def _emit_cluster(args, spec, requests, result, tracer) -> int:
             print(
                 f"\n{flat['scale_ups']} scale-up(s) "
                 f"({flat['cold_start_s']:.3f} s of weight-broadcast cold "
-                f"start), {flat['scale_downs']} scale-down(s)"
+                f"start), {flat['scale_downs']} scale-down(s), "
+                f"{flat['replacements']} crash replacement(s)"
+            )
+        if result.fault_events:
+            print(
+                f"\n## Faults: {flat['crashes']} crash(es), "
+                f"{flat['stalls']} stall(s), {flat['degrades']} "
+                f"degrade(s) -> {flat['failed']} failed, "
+                f"{flat['retries']} retries, {flat['failovers']} "
+                f"failover(s), {flat['shed']} shed; goodput "
+                f"{flat['goodput_tokens_per_s']:.1f} tok/s, "
+                f"unavailability {flat['unavailability_s']:.3f} s, "
+                f"recovery {flat['recovery_time_s']:.3f} s"
             )
     if args.output:
         if args.output.endswith(".csv"):
@@ -455,6 +534,7 @@ def _emit_cluster(args, spec, requests, result, tracer) -> int:
                     "deployments": rows,
                     "metrics": table,
                     "scale_events": result.scale_events,
+                    "fault_events": result.fault_events,
                     "requests": record_rows(result),
                     "trace": trace_rows(requests),
                 },
@@ -539,6 +619,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                         else 60.0
                     ),
                 ))
+            fault_plan = None
+            retry_policy = None
+            if args.faults is not None:
+                total_ranks = sum(d.config.num_ranks for d in deployments)
+                horizon = max(
+                    (r.arrival_s for r in requests), default=0.0
+                )
+                fault_plan = FaultPlan.sample(
+                    seed=args.faults,
+                    ranks=range(total_ranks),
+                    horizon_s=max(horizon, 1.0),
+                    crash_rate=(
+                        args.crash_rate
+                        if args.crash_rate is not None else 0.25
+                    ),
+                    stall_s=args.stall if args.stall is not None else 0.0,
+                )
+                retry_policy = RetryPolicy(
+                    max_retries=(
+                        args.retry_max if args.retry_max is not None else 3
+                    ),
+                    backoff_base_s=(
+                        args.retry_backoff
+                        if args.retry_backoff is not None else 0.5
+                    ),
+                    seed=args.faults,
+                )
             cluster_result = simulate_cluster(
                 requests,
                 deployments,
@@ -547,6 +654,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ),
                 autoscaler=autoscaler,
                 tracer=tracer,
+                faults=fault_plan,
+                retry_policy=retry_policy,
+                shed_tier=args.shed_tier,
             )
         else:
             result = simulate_trace(requests, config, tracer=tracer)

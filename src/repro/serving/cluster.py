@@ -33,8 +33,9 @@ top.
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.model.config import get_model_config
@@ -47,7 +48,8 @@ from repro.serving.engine.costs import _CostCache
 from repro.serving.engine.driver import make_engine
 from repro.serving.engine.rank_engine import _RankEngine
 from repro.serving.engine.records import RequestRecord, ServingResult
-from repro.serving.routing import RoutingPolicy, get_router
+from repro.serving.faults import FaultPlan, RetryPolicy
+from repro.serving.routing import RoutingPolicy, get_router, healthy_indices
 from repro.serving.trace import Request
 
 __all__ = [
@@ -117,11 +119,19 @@ class Deployment:
         self.routed = 0
         self.scale_ups = 0
         self.scale_downs = 0
+        self.replacements = 0
         self.replicas_peak = 0
         self._place = 0  # intra-deployment round-robin counter
         self._session_engine: Dict[int, _RankEngine] = {}
         self._tracer = None
         self._profiler = None
+        # Fault seams, wired by the cluster in fault mode only: the
+        # plan applied to each new replica, the crash harvest callback
+        # handed to every engine, and the failover notifier for sticky
+        # sessions whose replica died.
+        self._fault_plan: Optional[FaultPlan] = None
+        self._on_crash = None
+        self._on_failover = None
 
     # -- replica lifecycle ---------------------------------------------------
 
@@ -137,9 +147,30 @@ class Deployment:
             self.sched_policy, tracer=self._tracer, profiler=self._profiler,
         )
         engine.clock = ready_s
+        if self._fault_plan is not None:
+            self._fault_plan.apply(engine)
+            engine.on_crash = self._on_crash
         self.engines.append(engine)
         self.replicas_peak = max(self.replicas_peak, len(self.active_engines()))
         return engine
+
+    def reuse_replica(self) -> Optional[_RankEngine]:
+        """Un-retire a warm replica (weights resident, still alive).
+
+        A retired replica keeps its packed weights in MRAM, so bringing
+        it back costs nothing — the autoscaler prefers this over paying
+        a full cold-start broadcast for a brand-new rank.  Dead replicas
+        never come back.  Returns the reactivated engine, or ``None``
+        when every retiree is dead (or none exist).
+        """
+        for engine in self.engines:
+            if engine.retired and not engine.dead:
+                engine.retired = False
+                self.replicas_peak = max(
+                    self.replicas_peak, len(self.active_engines())
+                )
+                return engine
+        return None
 
     def active_engines(self) -> List[_RankEngine]:
         """Replicas currently accepting new work."""
@@ -154,6 +185,15 @@ class Deployment:
             if not engine.has_work:
                 return engine
         return None
+
+    def is_healthy(self, t: float) -> bool:
+        """True while at least one replica can accept work at ``t`` —
+        active (not retired), alive (not dead) and not inside a stall
+        window.  Routers exclude unhealthy deployments in fault mode."""
+        return any(
+            not e.retired and not e.dead and not e.is_stalled(t)
+            for e in self.engines
+        )
 
     # -- lazy state views (router / autoscaler seam) -------------------------
 
@@ -191,21 +231,39 @@ class Deployment:
 
     # -- request intake ------------------------------------------------------
 
-    def submit(self, request: Request) -> None:
+    def submit(self, request: Request) -> _RankEngine:
         """Accept a routed request and place it on one of the replicas.
 
         Non-session requests round-robin over the active replicas;
         session turns stick to the replica that served the session's
         first turn, so a replica's prefix cache sees the whole
         conversation (falling back to fresh placement if that replica
-        has been retired).
+        has been retired).  In fault mode stalled replicas are skipped
+        when any live alternative exists, and a sticky replica that
+        *died* triggers a failover notification before the fresh
+        placement.  Returns the engine the request landed on.
         """
         active = self.active_engines()
+        if self._fault_plan is not None:
+            live = [
+                e for e in active if not e.is_stalled(request.arrival_s)
+            ]
+            if live:
+                active = live
+        if not active:
+            raise ValueError(
+                f"deployment {self.name!r} has no live replica to place "
+                f"request {request.req_id}"
+            )
         engine: Optional[_RankEngine] = None
         session = request.session_id
         if session >= 0:
             engine = self._session_engine.get(session)
             if engine is not None and engine.retired:
+                if engine.dead and self._on_failover is not None:
+                    self._on_failover(
+                        request.arrival_s, request.req_id, engine.rank
+                    )
                 engine = None
         if engine is None:
             engine = active[self._place % len(active)]
@@ -214,6 +272,7 @@ class Deployment:
                 self._session_engine[session] = engine
         engine.submit(request)
         self.routed += 1
+        return engine
 
     # -- drain + result ------------------------------------------------------
 
@@ -254,6 +313,7 @@ class DeploymentResult:
     scale_ups: int
     scale_downs: int
     serving: ServingResult
+    replacements: int = 0
 
 
 @dataclass
@@ -265,6 +325,11 @@ class ClusterResult:
     :class:`~repro.serving.engine.records.ServingResult`);
     ``scale_events`` is the autoscaler's chronological action log, and
     the cold-start totals aggregate its weight-transfer charges.
+    ``failed_records`` are the terminal failures the recovery loop could
+    not serve (retry budget exhausted, load-shed, or stranded on a dead
+    fleet) — they belong to no deployment; ``fault_events`` is the
+    chronological fault log (crash detections plus scheduled
+    stall/degrade windows).
     """
 
     router: str
@@ -272,20 +337,26 @@ class ClusterResult:
     scale_events: List[dict] = field(default_factory=list)
     cold_start_s: float = 0.0
     cold_start_bytes: int = 0
+    failed_records: List[RequestRecord] = field(default_factory=list)
+    fault_events: List[dict] = field(default_factory=list)
 
     @property
     def records(self) -> List[RequestRecord]:
-        """Every request record across deployments, by request id."""
+        """Every request record — deployment slices plus cluster-level
+        failures — by request id."""
         out: List[RequestRecord] = []
         for dep in self.deployments:
             out.extend(dep.serving.records)
+        out.extend(self.failed_records)
         out.sort(key=lambda rec: rec.req_id)
         return out
 
     @property
     def requests(self) -> int:
-        """Requests accounted for (completed or rejected) cluster-wide."""
-        return sum(len(dep.serving.records) for dep in self.deployments)
+        """Requests accounted for (completed, rejected or failed)."""
+        return sum(
+            len(dep.serving.records) for dep in self.deployments
+        ) + len(self.failed_records)
 
     @property
     def completed(self) -> int:
@@ -306,6 +377,35 @@ class ClusterResult:
         return sum(
             sum(1 for rec in dep.serving.records if rec.status == "rejected")
             for dep in self.deployments
+        )
+
+    @property
+    def failed(self) -> int:
+        """Requests that ended in the terminal ``failed`` status."""
+        return sum(1 for rec in self.records if rec.status == "failed")
+
+    @property
+    def retries(self) -> int:
+        """Crash-driven re-submissions across every request."""
+        return sum(rec.retries for rec in self.records)
+
+    @property
+    def failovers(self) -> int:
+        """Re-routes away from dead replicas across every request."""
+        return sum(rec.failovers for rec in self.records)
+
+    @property
+    def shed_requests(self) -> int:
+        """Requests dropped by the load-shedder."""
+        return sum(1 for rec in self.records if rec.shed)
+
+    @property
+    def goodput_tokens(self) -> int:
+        """Tokens delivered by *completed* requests — unlike
+        :attr:`output_tokens`, work lost to crashes does not count."""
+        return sum(
+            rec.gen_tokens for rec in self.records
+            if rec.status == "completed"
         )
 
     @property
@@ -344,6 +444,9 @@ class Cluster:
         autoscaler=None,
         tracer=None,
         profiler=None,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        shed_tier: Optional[int] = None,
     ) -> None:
         self.deployments = list(deployments)
         if not self.deployments:
@@ -353,9 +456,55 @@ class Cluster:
         self._trace = tracer if tracer is not None and tracer.enabled else None
         self._next_rank = 0
         self._session_target: Dict[int, int] = {}
+        # Fault mode engages only for a non-empty plan: an empty
+        # FaultPlan (or none) runs the original arrival loop verbatim,
+        # bit-identical to a fault-free cluster.
+        self.faults = faults
+        self._fault_mode = faults is not None and not faults.empty
+        self.shed_tier = shed_tier
+        if self._fault_mode:
+            for deployment in self.deployments:
+                if deployment.config.engine == "soa":
+                    raise ValueError(
+                        f"deployment {deployment.name!r} uses "
+                        f"engine='soa', which does not support fault "
+                        f"injection; use engine='event' (or 'loop') for "
+                        f"faulted clusters"
+                    )
+            self.retry_policy = (
+                retry_policy if retry_policy is not None else RetryPolicy()
+            )
+        else:
+            self.retry_policy = retry_policy
+        # Recovery-loop state (all empty and untouched fault-free).
+        self._crash_box: List[tuple] = []
+        self._fault_events: List[dict] = []
+        self._failed_records: List[RequestRecord] = []
+        self._retry_counts: Dict[int, int] = {}
+        self._failover_counts: Dict[int, int] = {}
+        self._origin_arrival: Dict[int, float] = {}
+        self._now = 0.0
+        self._seq = 0
+        if self._fault_mode:
+            for spec in faults.specs:
+                if spec.kind == "crash":
+                    continue  # crashes are logged at detection, with losses
+                entry = {
+                    "t_s": spec.t_s,
+                    "kind": spec.kind,
+                    "rank": spec.rank,
+                    "duration_s": spec.duration_s,
+                }
+                if spec.kind == "degrade":
+                    entry["factor"] = spec.factor
+                self._fault_events.append(entry)
         for deployment in self.deployments:
             deployment._tracer = tracer
             deployment._profiler = profiler
+            if self._fault_mode:
+                deployment._fault_plan = faults
+                deployment._on_crash = self._crash_collector(deployment)
+                deployment._on_failover = self._failover_collector(deployment)
             for _ in range(deployment.config.num_ranks):
                 deployment.add_replica(self.allocate_rank())
 
@@ -367,6 +516,8 @@ class Cluster:
 
     def run(self, trace: Sequence[Request]) -> ClusterResult:
         """Simulate serving ``trace`` across the deployments."""
+        if self._fault_mode:
+            return self._run_faulted(trace)
         deployments = self.deployments
         router = self.router
         scaler = self.autoscaler
@@ -394,7 +545,267 @@ class Cluster:
                 tracer.route(t, deployment.name, request.req_id, router.name)
         for deployment in deployments:
             deployment.drain()
-        scale_events = list(scaler.scale_events) if scaler is not None else []
+        return self._collect_result()
+
+    # -- fault mode (crash recovery, retries, shedding) -----------------------
+
+    def _crash_collector(self, deployment: Deployment):
+        """Crash callback for ``deployment``'s engines: log the fault
+        and park the losses in the crash box for the recovery loop."""
+        def on_crash(engine, t_s: float, lost: List[tuple]) -> None:
+            # t_s is the committed-segment boundary the replica died at
+            # (it may run past the scheduled fault under lazy advance);
+            # detected_s is the recovery loop's wall front when the
+            # death surfaced — the clock MTTR is measured from.
+            self._fault_events.append({
+                "t_s": t_s,
+                "kind": "crash",
+                "rank": engine.rank,
+                "deployment": deployment.name,
+                "lost_requests": len(lost),
+                "detected_s": self._now,
+            })
+            self._crash_box.append((t_s, deployment, engine, lost))
+        return on_crash
+
+    def _failover_collector(self, deployment: Deployment):
+        """Failover callback: a sticky session's replica died and its
+        turn was re-placed on a live one."""
+        def on_failover(t_s: float, req_id: int, from_rank: int) -> None:
+            self._failover_counts[req_id] = (
+                self._failover_counts.get(req_id, 0) + 1
+            )
+            if self._trace is not None:
+                self._trace.failover(t_s, deployment.name, req_id, from_rank)
+        return on_failover
+
+    def _fail_terminal(self, record: RequestRecord, t_s: float,
+                       shed: bool = False) -> None:
+        """Stamp ``record`` as a terminal failure at ``t_s``."""
+        req_id = record.req_id
+        record.status = "failed"
+        record.finish_s = t_s
+        record.arrival_s = self._origin_arrival.get(req_id, record.arrival_s)
+        record.retries = self._retry_counts.get(req_id, 0)
+        record.failovers = self._failover_counts.get(req_id, 0)
+        record.shed = shed
+        self._failed_records.append(record)
+
+    def _pump_crashes(self, heap: List[tuple]) -> None:
+        """Drain the crash box: schedule a retry for every lost request
+        still inside its budget, fail the rest terminally.
+
+        Retry times are ``crash_t + backoff``, clamped forward to the
+        recovery loop's processing front so submissions stay globally
+        time-ordered (crashes are detected lazily, at the next event's
+        eager advance).
+        """
+        retry = self.retry_policy
+        box, self._crash_box = self._crash_box, []
+        for t_crash, deployment, engine, lost in box:
+            for request, record in lost:
+                req_id = request.req_id
+                self._origin_arrival.setdefault(req_id, record.arrival_s)
+                attempt = self._retry_counts.get(req_id, 0) + 1
+                if attempt > retry.max_retries:
+                    self._fail_terminal(record, t_crash)
+                    continue
+                self._retry_counts[req_id] = attempt
+                backoff = retry.backoff_s(req_id, attempt)
+                t_retry = max(t_crash + backoff, self._now)
+                if self._trace is not None:
+                    self._trace.retry(
+                        t_retry, deployment.name, req_id, attempt, backoff
+                    )
+                heapq.heappush(heap, (
+                    t_retry, self._next_seq(),
+                    dc_replace(request, arrival_s=t_retry), engine.rank,
+                ))
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _should_shed(self, request: Request, t: float) -> bool:
+        """Graceful degradation: drop a sheddable-tier arrival when the
+        post-failure fleet is drowning.
+
+        Only arrivals at or below the configured tier are candidates
+        (``priority`` grows downward: 0 is the most important), only
+        after at least one crash, and only while the cluster-wide queue
+        depth exceeds the high-water mark per live replica — the same
+        signal the autoscaler scales on, so shedding engages exactly
+        when capacity demonstrably lags demand.
+        """
+        if self.shed_tier is None or request.priority < self.shed_tier:
+            return False
+        if not any(e["kind"] == "crash" for e in self._fault_events):
+            return False
+        scaler = self.autoscaler
+        high = scaler.config.queue_high if scaler is not None else 8.0
+        depth = 0
+        live = 0
+        for deployment in self.deployments:
+            depth += deployment.queue_depth(t)
+            live += sum(
+                1 for e in deployment.active_engines() if not e.dead
+            )
+        return depth > high * max(live, 1)
+
+    def _run_faulted(self, trace: Sequence[Request]) -> ClusterResult:
+        """The arrival loop with crash recovery layered on.
+
+        Arrivals and retries merge in one time-ordered heap.  Before
+        each event every deployment is advanced to the event time so
+        crashes scheduled earlier have fired; harvested losses re-enter
+        the heap as retries (or fail terminally), and only then is the
+        head event routed — to a healthy deployment, or back into the
+        heap with backoff when none exists.  After the heap drains the
+        deployments drain, which can itself fire late crashes, so the
+        drain loops until no crash box entry and no heap entry remain.
+        """
+        deployments = self.deployments
+        router = self.router
+        scaler = self.autoscaler
+        session_target = self._session_target
+        tracer = self._trace
+        retry = self.retry_policy
+        ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        heap: List[tuple] = [
+            (r.arrival_s, i, r, -1) for i, r in enumerate(ordered)
+        ]
+        heapq.heapify(heap)
+        self._seq = len(ordered)
+        while True:
+            while heap:
+                t_peek = heap[0][0]
+                for deployment in deployments:
+                    deployment.advance(t_peek)
+                if self._crash_box:
+                    # Harvest first: a retry may precede the head event.
+                    self._pump_crashes(heap)
+                    continue
+                t, _, request, from_rank = heapq.heappop(heap)
+                self._now = t
+                req_id = request.req_id
+                if scaler is not None:
+                    scaler.control(t, self)
+                    if self._crash_box:
+                        self._pump_crashes(heap)
+                if from_rank < 0 and self._should_shed(request, t):
+                    record = RequestRecord(
+                        req_id=req_id, rank=-1, arrival_s=request.arrival_s,
+                        prompt_tokens=request.prompt_tokens,
+                        gen_tokens=request.gen_tokens,
+                        priority=request.priority,
+                        slo_ttft_s=request.slo_ttft_s,
+                        session_id=request.session_id, turn=request.turn,
+                    )
+                    self._fail_terminal(record, t, shed=True)
+                    if tracer is not None:
+                        tracer.shed(t, "cluster", req_id, request.priority)
+                    continue
+                healthy = healthy_indices(deployments, t)
+                if not healthy:
+                    # Nowhere to place it: back off like a crash loss.
+                    attempt = self._retry_counts.get(req_id, 0) + 1
+                    self._origin_arrival.setdefault(
+                        req_id, request.arrival_s
+                    )
+                    if attempt > retry.max_retries:
+                        record = RequestRecord(
+                            req_id=req_id, rank=-1,
+                            arrival_s=request.arrival_s,
+                            prompt_tokens=request.prompt_tokens,
+                            gen_tokens=request.gen_tokens,
+                            priority=request.priority,
+                            slo_ttft_s=request.slo_ttft_s,
+                            session_id=request.session_id,
+                            turn=request.turn,
+                        )
+                        self._fail_terminal(record, t)
+                        continue
+                    self._retry_counts[req_id] = attempt
+                    backoff = retry.backoff_s(req_id, attempt)
+                    if tracer is not None:
+                        tracer.retry(
+                            t + backoff, "cluster", req_id, attempt, backoff
+                        )
+                    heapq.heappush(heap, (
+                        t + backoff, self._next_seq(),
+                        dc_replace(request, arrival_s=t + backoff),
+                        from_rank,
+                    ))
+                    continue
+                session = request.session_id
+                target = (
+                    session_target.get(session, -1) if session >= 0 else -1
+                )
+                if target >= 0 and target not in healthy:
+                    # Sticky deployment is down or frozen: fail over.
+                    self._failover_counts[req_id] = (
+                        self._failover_counts.get(req_id, 0) + 1
+                    )
+                    if tracer is not None:
+                        tracer.failover(
+                            t, deployments[target].name, req_id, -1
+                        )
+                    target = -1
+                    session_target.pop(session, None)
+                if target < 0:
+                    pool = [deployments[i] for i in healthy]
+                    choice = router.select(request, pool)
+                    if not 0 <= choice < len(pool):
+                        raise ValueError(
+                            f"router {router.name!r} returned invalid "
+                            f"target {choice} for {len(pool)} deployments"
+                        )
+                    target = healthy[choice]
+                    if session >= 0:
+                        session_target[session] = target
+                deployment = deployments[target]
+                placed = deployment.submit(request)
+                if from_rank >= 0 and placed.rank != from_rank:
+                    # The retry moved off the replica that crashed.
+                    self._failover_counts[req_id] = (
+                        self._failover_counts.get(req_id, 0) + 1
+                    )
+                    if tracer is not None:
+                        tracer.failover(
+                            t, deployment.name, req_id, from_rank
+                        )
+                if tracer is not None:
+                    tracer.route(t, deployment.name, req_id, router.name)
+            for deployment in deployments:
+                deployment.drain()
+            if self._crash_box:
+                self._pump_crashes(heap)
+            if not heap and not self._crash_box:
+                break
+        # Surviving records of retried requests were created at their
+        # retry submission; restore the origin arrival so TTFT and
+        # latency include the crash and backoff delay, and stamp the
+        # per-request recovery counters.
+        if self._retry_counts or self._failover_counts:
+            for deployment in deployments:
+                for engine in deployment.engines:
+                    for record in engine.records:
+                        retries = self._retry_counts.get(record.req_id, 0)
+                        if retries:
+                            record.retries = retries
+                            record.arrival_s = self._origin_arrival.get(
+                                record.req_id, record.arrival_s
+                            )
+                        failovers = self._failover_counts.get(
+                            record.req_id, 0
+                        )
+                        if failovers:
+                            record.failovers = failovers
+        return self._collect_result()
+
+    def _collect_result(self) -> ClusterResult:
+        """Package deployments, scale events and fault state."""
+        scaler = self.autoscaler
         return ClusterResult(
             router=self.router.name,
             deployments=[
@@ -407,13 +818,20 @@ class Cluster:
                     scale_ups=d.scale_ups,
                     scale_downs=d.scale_downs,
                     serving=d.result(),
+                    replacements=d.replacements,
                 )
-                for d in deployments
+                for d in self.deployments
             ],
-            scale_events=scale_events,
+            scale_events=(
+                list(scaler.scale_events) if scaler is not None else []
+            ),
             cold_start_s=scaler.cold_start_s if scaler is not None else 0.0,
             cold_start_bytes=(
                 scaler.cold_start_bytes if scaler is not None else 0
+            ),
+            failed_records=list(self._failed_records),
+            fault_events=sorted(
+                self._fault_events, key=lambda e: (e["t_s"], e["rank"])
             ),
         )
 
@@ -425,6 +843,9 @@ def simulate_cluster(
     autoscaler=None,
     tracer=None,
     profiler=None,
+    faults: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    shed_tier: Optional[int] = None,
 ) -> ClusterResult:
     """Convenience wrapper: build a :class:`Cluster` and run ``trace``.
 
@@ -433,9 +854,12 @@ def simulate_cluster(
     runs); ``router`` is a registry name from
     :data:`~repro.serving.routing.ROUTERS` or a pre-built policy;
     ``autoscaler`` an optional
-    :class:`~repro.serving.autoscale.Autoscaler`.
+    :class:`~repro.serving.autoscale.Autoscaler`.  A non-empty
+    ``faults`` plan engages the crash-recovery loop with
+    ``retry_policy`` (defaulted) and optional tier shedding.
     """
     return Cluster(
         deployments, router=router, autoscaler=autoscaler,
-        tracer=tracer, profiler=profiler,
+        tracer=tracer, profiler=profiler, faults=faults,
+        retry_policy=retry_policy, shed_tier=shed_tier,
     ).run(trace)

@@ -165,6 +165,7 @@ def simulate_trace(
     sched_policy: Optional[SchedulingPolicy] = None,
     tracer=None,
     profiler=None,
+    faults=None,
 ) -> ServingResult:
     """Simulate serving ``trace`` under ``config``; returns the full result.
 
@@ -181,7 +182,11 @@ def simulate_trace(
     the recording tracer) receives every engine lifecycle event;
     ``profiler`` (a :class:`repro.obs.profile.SelfProfiler`) accumulates
     the engines' own wall-clock phase times.  Both default to off with
-    no hot-path cost beyond one branch per scheduler event.
+    no hot-path cost beyond one branch per scheduler event.  ``faults``
+    (a :class:`~repro.serving.faults.FaultPlan`) injects crashes, stalls
+    and degradations into the replica engines *without* a recovery
+    layer — lost requests end ``failed`` (the cluster layer adds
+    retries); requires an object engine.
 
     Raises
     ------
@@ -209,6 +214,7 @@ def simulate_trace(
         )
     cache = _CostCache(model, scheme_policy, system, config.kernel, energy_model)
 
+    have_faults = faults is not None and not faults.empty
     if config.engine == "soa":
         if tracer is not None and tracer.enabled:
             raise ValueError(
@@ -219,6 +225,11 @@ def simulate_trace(
             raise ValueError(
                 "the self-profiler requires an object engine "
                 "(engine='event' or 'loop')"
+            )
+        if have_faults:
+            raise ValueError(
+                "fault injection requires an object engine (engine='event' "
+                "or 'loop'); the soa engine has no fault hooks"
             )
         return _simulate_trace_soa(
             trace, config, cache, kv_capacity, weight_bytes, sched_policy
@@ -236,6 +247,8 @@ def simulate_trace(
     for rank, shard in enumerate(shards):
         engine = _RankEngine(rank, shard, cache, config, kv_capacity,
                              sched_policy, tracer=tracer, profiler=profiler)
+        if have_faults:
+            faults.apply(engine)
         shard_records, shard_stats = engine.run()
         records.extend(shard_records)
         rank_stats.append(shard_stats)

@@ -25,7 +25,7 @@ import math
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.serving.engine.cache import CacheEntry, PrefixCache
 from repro.serving.engine.config import ServingConfig
@@ -94,6 +94,23 @@ class _RankEngine:
         self.records: List[RequestRecord] = []
         self.pending: deque = deque()
         self.kv_queued_bytes = 0
+        #: Cluster-managed flag: a retired replica receives no new work
+        #: from its deployment (the engine itself never reads it).
+        self.retired = False
+        # Fault-injection state.  ``_has_faults`` stays False until a
+        # hook arms it, so fault-free runs execute the original step
+        # loop verbatim (the goldens pin this bit-identity).  Set before
+        # the initial shard submission below — submit() guards on dead.
+        self.dead = False
+        self._has_faults = False
+        self._crash_s = math.inf
+        self._stalls: List[Tuple[float, float]] = []
+        self._degrades: List[List] = []  # [start, end, factor, fired]
+        #: Cluster seam: called as ``on_crash(engine, t_s, lost)`` with
+        #: the crash-lost ``(Request, RequestRecord)`` pairs so the
+        #: recovery loop can retry them.  When unset (standalone runs)
+        #: the lost requests become terminal ``failed`` records.
+        self.on_crash: Optional[Callable] = None
         for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
             self.submit(r)
         self.ready: List[Tuple[Tuple, int, _RequestState]] = []
@@ -104,9 +121,6 @@ class _RankEngine:
         self._seq = 0  # heap tie-break counter
         self._event_driven = config.engine == "event"
         self.prefix_cache = PrefixCache() if config.prefix_cache else None
-        #: Cluster-managed flag: a retired replica receives no new work
-        #: from its deployment (the engine itself never reads it).
-        self.retired = False
 
     # -- incremental driving (cluster seam) -----------------------------------
 
@@ -140,6 +154,11 @@ class _RankEngine:
         non-decreasing arrival time — the cluster's global event loop
         guarantees this by processing arrivals in time order.
         """
+        if self.dead:
+            raise ValueError(
+                f"replica {self.rank} is dead; route request "
+                f"{request.req_id} elsewhere"
+            )
         if self.pending and request.arrival_s < self.pending[-1].request.arrival_s:
             raise ValueError(
                 f"request {request.req_id} submitted out of arrival order "
@@ -170,6 +189,9 @@ class _RankEngine:
         segment that *starts* before the horizon may finish past it (the
         engine never splits a committed segment).
         """
+        if self._has_faults:
+            self._advance_faulted(horizon_s)
+            return
         while self.has_work and self.next_event_s() <= horizon_s:
             self._step()
 
@@ -180,6 +202,143 @@ class _RankEngine:
         # (every request released or donated its private pages).
         self.stats.kv_final_bytes = self.kv_used
         return self.stats
+
+    # -- fault injection ------------------------------------------------------
+
+    def fail_at(self, t_s: float) -> None:
+        """Schedule a crash: the replica dies at the first scheduler-step
+        boundary at or past ``t_s``, losing all in-flight requests, KV
+        reservations and prefix-cache entries (a committed step is never
+        split, so a segment started before ``t_s`` completes first)."""
+        if t_s < 0:
+            raise ValueError(f"fail_at t_s must be >= 0, got {t_s}")
+        self._crash_s = min(self._crash_s, t_s)
+        self._has_faults = True
+
+    def stall(self, t_s: float, duration_s: float) -> None:
+        """Schedule a transient freeze over ``[t_s, t_s + duration_s)``:
+        no step starts inside the window (the clock jumps over it) and
+        health-aware routing excludes the replica for its duration."""
+        if t_s < 0:
+            raise ValueError(f"stall t_s must be >= 0, got {t_s}")
+        if duration_s <= 0:
+            raise ValueError(f"stall duration_s must be > 0, got {duration_s}")
+        self._stalls.append((t_s, t_s + duration_s))
+        self._stalls.sort()
+        self._has_faults = True
+
+    def degrade(self, t_s: float, duration_s: float, factor: float) -> None:
+        """Schedule a slowdown: every costed step that *starts* inside
+        ``[t_s, t_s + duration_s)`` takes ``factor``× its modeled
+        latency (energy is unchanged — the same work, done slower)."""
+        if t_s < 0:
+            raise ValueError(f"degrade t_s must be >= 0, got {t_s}")
+        if duration_s <= 0:
+            raise ValueError(
+                f"degrade duration_s must be > 0, got {duration_s}"
+            )
+        if factor <= 1.0:
+            raise ValueError(f"degrade factor must be > 1.0, got {factor}")
+        self._degrades.append([t_s, t_s + duration_s, factor, False])
+        self._degrades.sort(key=lambda w: w[0])
+        self._has_faults = True
+
+    def is_stalled(self, t_s: float) -> bool:
+        """True while ``t_s`` falls inside a scheduled stall window."""
+        return any(start <= t_s < end for start, end in self._stalls)
+
+    def _fault_factor(self) -> float:
+        """Latency multiplier for a step starting at the current clock."""
+        factor = 1.0
+        for start, end, window_factor, _ in self._degrades:
+            if start <= self.clock < end:
+                factor *= window_factor
+        return factor
+
+    def _crash(self) -> None:
+        """Die at the scheduled crash time, losing all in-flight state."""
+        t = max(self.clock, self._crash_s)
+        self.clock = t
+        self.dead = True
+        self.retired = True
+        lost_states = list(self.prefilling) + list(self.running)
+        while self.ready:
+            _, _, state = heapq.heappop(self.ready)
+            lost_states.append(state)
+        # Pending requests were never collected, so their arrive events
+        # have not fired yet — emit them now so the replay oracle sees
+        # an arrival before the crash that lost them.
+        for state in self.pending:
+            if self._trace is not None:
+                self._trace.arrive(state.request.arrival_s, self.rank,
+                                   state.request)
+            lost_states.append(state)
+        self.pending.clear()
+        self.prefilling = []
+        self.running = []
+        kv_lost = self.kv_used
+        self.kv_used = 0
+        self.kv_queued_bytes = 0
+        # The rank's memory died with it: drop every cache entry.
+        if self.prefix_cache is not None:
+            self.prefix_cache = PrefixCache()
+        lost_states.sort(key=lambda s: s.record.req_id)
+        lost = [(s.request, s.record) for s in lost_states]
+        if self._trace is not None:
+            self._trace.fault_crash(
+                t, self.rank, [r.req_id for _, r in lost], kv_lost
+            )
+        if self.on_crash is not None:
+            self.on_crash(self, t, lost)
+        else:
+            for _, record in lost:
+                record.status = "failed"
+                record.finish_s = t
+                self.records.append(record)
+
+    def _advance_faulted(self, horizon_s: float) -> None:
+        """The :meth:`advance` loop with crash/stall/degrade applied.
+
+        Crashes fire at the first step boundary at or past the crash
+        time; stalls jump the clock over their window; degradations are
+        noted here (one trace event per window) and applied at the
+        costed sites via :meth:`_fault_factor`.
+        """
+        if self.dead:
+            return
+        while self.has_work and self.next_event_s() <= horizon_s:
+            t = max(self.clock, self.next_event_s())
+            if t >= self._crash_s:
+                self._crash()
+                return
+            stalled = False
+            for start, end in self._stalls:
+                if start <= t < end:
+                    if self._crash_s < end:
+                        # Died mid-stall: never wakes up.
+                        self._crash()
+                        return
+                    if self._trace is not None:
+                        self._trace.fault_stall(
+                            max(t, start), self.rank, end - max(t, start)
+                        )
+                    self.clock = end
+                    stalled = True
+                    break
+            if stalled:
+                continue
+            if self._trace is not None:
+                for window in self._degrades:
+                    if not window[3] and window[0] <= t < window[1]:
+                        window[3] = True
+                        self._trace.fault_degrade(
+                            t, self.rank, window[1] - t, window[2]
+                        )
+            self._step()
+        if self._crash_s < math.inf and horizon_s >= self._crash_s:
+            # Idle (or past-horizon) death: the replica dies on
+            # schedule even with no work in flight.
+            self._crash()
 
     # -- ready-queue helpers ------------------------------------------------
 
@@ -343,6 +502,8 @@ class _RankEngine:
             remaining = state.prefix_target - state.prefix_done
             chunk = min(self.policy.prefill_chunk(remaining), remaining)
             latency, energy = self.cache.prefill_chunk(state.prefix_done, chunk)
+            if self._has_faults:
+                latency *= self._fault_factor()
             if self._trace is not None:
                 self._trace.prefill_chunk_start(self.clock, self.rank,
                                                 state.record.req_id,
@@ -431,6 +592,8 @@ class _RankEngine:
             attn_latency, attn_energy = self.cache.attn_step(kv_len)
             latency += attn_latency
             energy += attn_energy
+        if self._has_faults:
+            latency *= self._fault_factor()
         self.clock += latency
         self.stats.busy_s += latency
         self.stats.energy_j += energy
@@ -467,6 +630,8 @@ class _RankEngine:
         for state in self.running:
             kv = state.request.prompt_tokens + state.tokens_out
             total += self.cache.attn_segment(kv + 1, kv + tokens)[0]
+        if self._has_faults:
+            total *= self._fault_factor()
         return total
 
     def _cap_to_arrival(self, tokens: int) -> int:
@@ -522,6 +687,8 @@ class _RankEngine:
             attn_latency, attn_energy = self.cache.attn_segment(kv + 1, kv + tokens)
             latency += attn_latency
             energy += attn_energy
+        if self._has_faults:
+            latency *= self._fault_factor()
         if self.profiler is not None:
             self.profiler.add("segment_costing", perf_counter() - costing_t0)
         if any(state.tokens_out == 0 for state in self.running):
@@ -531,6 +698,8 @@ class _RankEngine:
             for state in self.running:
                 kv = state.request.prompt_tokens + state.tokens_out + 1
                 first_latency += self.cache.attn_step(kv)[0]
+            if self._has_faults:
+                first_latency *= self._fault_factor()
             first_boundary = self.clock + first_latency
             trace = self._trace
             for state in self.running:
@@ -594,6 +763,10 @@ class _RankEngine:
 
     def run(self) -> Tuple[List[RequestRecord], RankStats]:
         """Drain the engine (all requests known upfront) and finalize."""
+        if self._has_faults:
+            self._advance_faulted(math.inf)
+            self.finalize()
+            return self.records, self.stats
         while self.pending or self.ready or self.prefilling or self.running:
             self._step()
         self.finalize()

@@ -31,6 +31,15 @@ class RequestRecord:
     ``preemptions``.  ``cache_hit`` / ``cached_tokens`` describe the
     prefix-cache outcome of that first admission (always miss/0 with the
     cache disabled).
+
+    ``status`` is one of three terminal outcomes: ``"completed"``,
+    ``"rejected"`` (infeasible KV footprint) or ``"failed"`` (lost to a
+    replica crash with the retry budget exhausted, shed under
+    post-failure overload, or stranded on a dead fleet).  ``retries``
+    counts crash-driven re-submissions, ``failovers`` the re-routes that
+    landed on a different replica than the crashed one, and ``shed``
+    marks a request dropped by the load-shedder; all are zero in
+    fault-free runs.
     """
 
     req_id: int
@@ -49,6 +58,9 @@ class RequestRecord:
     turn: int = 0
     cache_hit: bool = False
     cached_tokens: int = 0
+    retries: int = 0
+    failovers: int = 0
+    shed: bool = False
 
     @property
     def queue_s(self) -> float:

@@ -179,6 +179,9 @@ class _SoaEngine:
         self.prefix_cache = None
         #: Cluster-managed flag, same contract as the object engine.
         self.retired = False
+        #: Never set: the soa engine rejects fault plans (see
+        #: :meth:`fail_at`), so a soa replica cannot die or stall.
+        self.dead = False
         self._kv_per_token = cache.model.kv_cache_bytes(1, 1)
         self._tables = cache.segment_table()
         self._cap = 0
@@ -204,6 +207,29 @@ class _SoaEngine:
         self._pre_n = 0
         for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
             self.submit(r)
+
+    # -- fault injection (rejected) -------------------------------------------
+
+    _FAULT_ERROR = (
+        "fault injection requires an object engine (engine='event' or "
+        "'loop'); the soa engine has no fault hooks"
+    )
+
+    def fail_at(self, t_s: float) -> None:
+        """Unsupported: the soa engine rejects fault plans."""
+        raise ValueError(self._FAULT_ERROR)
+
+    def stall(self, t_s: float, duration_s: float) -> None:
+        """Unsupported: the soa engine rejects fault plans."""
+        raise ValueError(self._FAULT_ERROR)
+
+    def degrade(self, t_s: float, duration_s: float, factor: float) -> None:
+        """Unsupported: the soa engine rejects fault plans."""
+        raise ValueError(self._FAULT_ERROR)
+
+    def is_stalled(self, t_s: float) -> bool:
+        """Always False: a soa replica never carries stall windows."""
+        return False
 
     # -- submission -----------------------------------------------------------
 

@@ -77,6 +77,9 @@ def record_rows(result: ServingResult) -> List[dict]:
                 "turn": rec.turn,
                 "cache_hit": rec.cache_hit,
                 "cached_tokens": rec.cached_tokens,
+                "retries": rec.retries,
+                "failovers": rec.failovers,
+                "shed": rec.shed,
                 "admit_s": rec.admit_s,
                 "first_token_s": rec.first_token_s,
                 "finish_s": rec.finish_s,
@@ -201,6 +204,7 @@ def cluster_rows(result) -> List[dict]:
                 "replicas_peak": dep.replicas_peak,
                 "scale_ups": dep.scale_ups,
                 "scale_downs": dep.scale_downs,
+                "replacements": dep.replacements,
             }
         )
         rows.append(row)
@@ -221,11 +225,20 @@ def cluster_summary(result) -> dict:
     latencies: List[float] = []
     requests = 0
     rejected = 0
+    failed = 0
+    retries = 0
+    failovers = 0
+    shed = 0
+    goodput_tokens = 0
     slo_requests = 0
     slo_met = 0
     for rec in result.records:
         requests += 1
+        retries += rec.retries
+        failovers += rec.failovers
+        shed += rec.shed
         if rec.status == "completed":
+            goodput_tokens += rec.gen_tokens
             ttfts.append(rec.ttft_s)
             latencies.append(rec.latency_s)
             if rec.slo_ttft_s > 0:
@@ -237,11 +250,15 @@ def cluster_summary(result) -> dict:
             # below but must not masquerade as a KV rejection.
             if rec.status == "rejected":
                 rejected += 1
+            elif rec.status == "failed":
+                failed += 1
             if rec.slo_ttft_s > 0:
                 slo_requests += 1
     makespan = result.makespan_s
     output_tokens = result.output_tokens
     energy = result.total_energy_j
+    unavailability, recovery = _availability(result, makespan)
+    fault_kinds = [e["kind"] for e in result.fault_events]
     return {
         "router": result.router,
         "deployments": len(result.deployments),
@@ -250,6 +267,10 @@ def cluster_summary(result) -> dict:
         "requests": requests,
         "completed": len(ttfts),
         "rejected": rejected,
+        "failed": failed,
+        "retries": retries,
+        "failovers": failovers,
+        "shed": shed,
         "routed": sum(d.routed for d in result.deployments),
         "preemptions": sum(
             d.serving.preemptions for d in result.deployments
@@ -262,12 +283,57 @@ def cluster_summary(result) -> dict:
         "latency_p95_s": percentile(latencies, 95),
         "output_tokens": output_tokens,
         "output_tokens_per_s": safe_ratio(output_tokens, makespan),
+        "goodput_tokens": goodput_tokens,
+        "goodput_tokens_per_s": safe_ratio(goodput_tokens, makespan),
         "energy_j": energy,
         "energy_mj_per_token": safe_ratio(1e3 * energy, output_tokens),
         "makespan_s": makespan,
         "scale_ups": sum(d.scale_ups for d in result.deployments),
         "scale_downs": sum(d.scale_downs for d in result.deployments),
+        "replacements": sum(d.replacements for d in result.deployments),
         "scale_events": len(result.scale_events),
         "cold_start_s": result.cold_start_s,
         "cold_start_bytes": result.cold_start_bytes,
+        "crashes": fault_kinds.count("crash"),
+        "stalls": fault_kinds.count("stall"),
+        "degrades": fault_kinds.count("degrade"),
+        "unavailability_s": unavailability,
+        "recovery_time_s": recovery,
     }
+
+
+def _availability(result, makespan: float) -> tuple:
+    """Replica-seconds of lost capacity and total time-to-recovery.
+
+    Each crash contributes a dead interval from the crash until its
+    replacement is *ready* (the ``replace`` scale event paired by
+    ``dead_rank``, at its decision time plus cold start) or — never
+    replaced — until the makespan.  Stall windows add their frozen
+    durations (clipped to the makespan).  ``recovery_time_s`` sums the
+    paired detection→replacement-ready spans (detection, not the
+    effective crash boundary, which lazy segment commits can push past
+    the replacement) — the cluster's MTTR numerator.
+    """
+    replace_ready = {}
+    for event in result.scale_events:
+        if event.get("action") == "replace" and "dead_rank" in event:
+            replace_ready.setdefault(
+                event["dead_rank"], event["t_s"] + event["cold_start_s"]
+            )
+    unavailability = 0.0
+    recovery = 0.0
+    for event in result.fault_events:
+        if event["kind"] == "crash":
+            t_crash = event["t_s"]
+            ready = replace_ready.get(event["rank"])
+            if ready is not None:
+                detected = event.get("detected_s", t_crash)
+                recovery += max(ready - detected, 0.0)
+                unavailability += max(ready - t_crash, 0.0)
+            else:
+                unavailability += max(makespan - t_crash, 0.0)
+        elif event["kind"] == "stall":
+            start = event["t_s"]
+            end = min(start + event["duration_s"], makespan)
+            unavailability += max(end - start, 0.0)
+    return unavailability, recovery

@@ -258,7 +258,10 @@ def test_end_to_end_autoscaled_run_has_scale_events():
     assert result.requests == len(trace)
     assert result.scale_events
     assert result.cold_start_s > 0
-    ups = sum(1 for e in result.scale_events if e["action"] == "scale_up")
+    # Warm re-activations log as "scale_up_warm" (zero cold-start cost)
+    # but count toward the deployment's scale_ups alongside cold ones.
+    ups = sum(1 for e in result.scale_events
+              if e["action"] in ("scale_up", "scale_up_warm"))
     assert result.cold_start_bytes == sum(
         e["weight_bytes"] for e in result.scale_events
         if e["action"] == "scale_up"
@@ -302,7 +305,10 @@ def test_tracer_records_route_and_scale_events():
     for event in routes:
         assert event.rank == -1
         assert event.data["router"] == "least_kv"
-    ups = [e for e in tracer.events if e.kind == "scale_up"]
+    # Warm re-activations trace as their own "scale_up_warm" kind but
+    # share the scale_ups counter with cold starts.
+    ups = [e for e in tracer.events
+           if e.kind in ("scale_up", "scale_up_warm")]
     assert len(ups) == len(scaler.scale_events) - sum(
         1 for e in scaler.scale_events if e["action"] == "scale_down"
     )

@@ -67,6 +67,11 @@ CLUSTER_REQUESTS = 1_000_000
 CLUSTER_BUDGET_S = 300.0
 CLUSTER_ROUTER_REQUESTS = 100_000
 CLUSTER_AUTOSCALE_REQUESTS = 100_000
+FAULT_REQUESTS = 20_000
+FAULT_BUDGET_S = 120.0
+# Crashing 1 in 4 replicas (with replacement) must keep goodput within
+# 10% of the fault-free completed count on the same trace.
+FAULT_GOODPUT_FLOOR = 0.9
 OBS_TRACED_REQUESTS = 20_000
 # The tracing-disabled hot path is intended to cost a few percent at
 # most; the gate leaves headroom for shared-runner wall-clock noise.
@@ -554,6 +559,90 @@ def bench_cluster() -> dict:
     }
 
 
+def bench_faults() -> dict:
+    """Fault-tolerance entry: chaos run vs fault-free on the same trace.
+
+    Serves the identical bursty trace three ways on the heterogeneous
+    deployment mix: (a) fault-free, (b) with an explicitly *empty*
+    :class:`FaultPlan` — which must leave every record identical, the
+    bit-identity contract the goldens pin — and (c) under a seeded
+    chaos plan (replica crashes plus stall windows) with retries and an
+    autoscaler replacing the corpses.  The ``--check`` gate requires
+    request conservation, the empty-plan identity, and chaos-run
+    goodput (completed requests) of at least
+    ``FAULT_GOODPUT_FLOOR`` x the fault-free completed count — the
+    recovery loop must actually recover, not merely account for losses.
+    """
+    from repro.serving import (
+        Autoscaler, AutoscalerConfig, FaultPlan, RetryPolicy, TraceSpec,
+        cluster_summary, generate_trace, simulate_cluster,
+    )
+
+    spec = TraceSpec(
+        num_requests=FAULT_REQUESTS, seed=0, scenario="bursty",
+        arrival_rate_per_s=64.0, burst_rate_multiplier=8.0,
+    )
+    trace, trace_wall = _timed(lambda: generate_trace(spec))
+    base_result, base_wall = _timed(
+        lambda: simulate_cluster(trace, _cluster_deployments(),
+                                 router="round_robin")
+    )
+    empty_result = simulate_cluster(
+        trace, _cluster_deployments(), router="round_robin",
+        faults=FaultPlan(),
+    )
+    identical = (
+        [(r.req_id, r.status, r.finish_s) for r in base_result.records]
+        == [(r.req_id, r.status, r.finish_s) for r in empty_result.records]
+    )
+
+    total_ranks = sum(
+        d.config.num_ranks for d in _cluster_deployments()
+    )
+    horizon = max(r.arrival_s for r in trace)
+    plan = FaultPlan.sample(
+        seed=7, ranks=range(total_ranks), horizon_s=horizon,
+        crash_rate=0.25, stall_s=2.0,
+    )
+    scaler = Autoscaler(AutoscalerConfig(
+        max_replicas=4, queue_high=8.0, queue_low=1.0, interval_s=10.0,
+    ))
+    fault_result, fault_wall = _timed(
+        lambda: simulate_cluster(
+            trace, _cluster_deployments(), router="round_robin",
+            autoscaler=scaler, faults=plan,
+            retry_policy=RetryPolicy(max_retries=3),
+        )
+    )
+    flat = cluster_summary(fault_result)
+    base = cluster_summary(base_result)
+    return {
+        "requests": FAULT_REQUESTS,
+        "trace_wall_s": trace_wall,
+        "base_wall_s": base_wall,
+        "fault_wall_s": fault_wall,
+        "fault_wall_budget_s": FAULT_BUDGET_S,
+        "empty_plan_identical": identical,
+        "crashes": flat["crashes"],
+        "stalls": flat["stalls"],
+        "replacements": flat["replacements"],
+        "retries": flat["retries"],
+        "failovers": flat["failovers"],
+        "lost": FAULT_REQUESTS - fault_result.requests,
+        "base_completed": base["completed"],
+        "completed": flat["completed"],
+        "failed": flat["failed"],
+        "goodput_ratio": (
+            flat["completed"] / base["completed"]
+            if base["completed"] else 0.0
+        ),
+        "goodput_floor": FAULT_GOODPUT_FLOOR,
+        "goodput_tokens_per_s": flat["goodput_tokens_per_s"],
+        "unavailability_s": flat["unavailability_s"],
+        "recovery_time_s": flat["recovery_time_s"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_serving.json", metavar="PATH")
@@ -574,6 +663,7 @@ def main(argv=None) -> int:
         "policies": bench_policies(),
         "prefix_cache": bench_prefix_cache(),
         "cluster": bench_cluster(),
+        "faults": bench_faults(),
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -619,6 +709,13 @@ def main(argv=None) -> int:
           f"{cluster['deployments']} deployments in {cluster['wall_s']:.1f} s "
           f"wall ({cluster['requests_per_wall_s']:.0f} requests/s); "
           f"autoscale {cluster['autoscale']['scale_events']} scale event(s)")
+    faults = payload["faults"]
+    print(f"faults: {faults['crashes']} crash(es) + {faults['stalls']} "
+          f"stall(s) over {faults['requests']} requests; "
+          f"{faults['retries']} retries, {faults['replacements']} "
+          f"replacement(s), goodput {faults['goodput_ratio']:.3f}x "
+          f"fault-free (floor {faults['goodput_floor']}) in "
+          f"{faults['fault_wall_s']:.1f} s wall")
     print(f"wrote {args.output}")
 
     if args.check:
@@ -754,6 +851,44 @@ def main(argv=None) -> int:
         if cluster["autoscale"]["scale_events"] == 0:
             print(
                 "FAIL: the autoscaled cluster run produced no scale events",
+                file=sys.stderr,
+            )
+            return 1
+        if not faults["empty_plan_identical"]:
+            print(
+                "FAIL: an empty FaultPlan changed the fault-free cluster "
+                "run (must be bit-identical to passing no plan at all)",
+                file=sys.stderr,
+            )
+            return 1
+        if faults["lost"] != 0:
+            print(
+                f"FAIL: the chaos run lost {faults['lost']} request(s) — "
+                f"completed + rejected + failed must equal the trace size",
+                file=sys.stderr,
+            )
+            return 1
+        if faults["crashes"] == 0:
+            print(
+                "FAIL: the chaos plan scheduled no crashes (the gate is "
+                "vacuous without injected faults)",
+                file=sys.stderr,
+            )
+            return 1
+        if faults["completed"] < faults["goodput_floor"] * faults["base_completed"]:
+            print(
+                f"FAIL: chaos-run goodput {faults['completed']} completed "
+                f"is below {faults['goodput_floor']} x the fault-free "
+                f"{faults['base_completed']} (ratio "
+                f"{faults['goodput_ratio']:.3f})",
+                file=sys.stderr,
+            )
+            return 1
+        if faults["fault_wall_s"] > faults["fault_wall_budget_s"]:
+            print(
+                f"FAIL: the {faults['requests']}-request chaos run took "
+                f"{faults['fault_wall_s']:.1f} s "
+                f"(> {faults['fault_wall_budget_s']} s budget)",
                 file=sys.stderr,
             )
             return 1
